@@ -1,0 +1,41 @@
+"""Benches for the design-choice ablations (DESIGN.md section 3)."""
+
+from repro.experiments import run_experiment
+
+from conftest import PROFILE, run_once
+
+
+def test_ablation_transition_penalty(benchmark):
+    result = run_once(benchmark, run_experiment, "abl-penalty", PROFILE)
+    print(result.text)
+    # Loss grows with the penalty; a free transition loses ~nothing.
+    assert result.data[0.0]["loss"] <= result.data[20.0]["loss"]
+
+
+def test_ablation_polling_accounting(benchmark):
+    result = run_once(benchmark, run_experiment, "abl-polling", PROFILE)
+    print(result.text)
+    # With polling charged as idle, EDVS behaves like a load-follower at
+    # low traffic — erasing the paper's TDVS/EDVS distinction.
+    assert result.data["busy (paper)"]["transitions"] == 0
+    assert result.data["idle"]["transitions"] > 0
+
+
+def test_ablation_tdvs_hysteresis(benchmark):
+    result = run_once(benchmark, run_experiment, "abl-hysteresis", PROFILE)
+    print(result.text)
+    assert result.data[0.2]["transitions"] < result.data[0.0]["transitions"]
+
+
+def test_extension_combined_governor(benchmark):
+    result = run_once(benchmark, run_experiment, "abl-combined", PROFILE)
+    print(result.text)
+    data = result.data
+    assert data["combined"]["power_w"] < data["none"]["power_w"]
+    assert data["combined"]["overhead_w"] < 0.01 * data["combined"]["power_w"]
+
+
+def test_extension_formula1_latency(benchmark):
+    result = run_once(benchmark, run_experiment, "formula1", PROFILE)
+    print(result.text)
+    assert result.data["instances"] > 50

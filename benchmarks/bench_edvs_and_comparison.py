@@ -1,0 +1,44 @@
+"""Benches for EDVS (Figure 10), the policy comparison (Figure 11) and
+the Section 4.2 idle-time observation."""
+
+from repro.experiments import run_experiment
+
+from conftest import PROFILE, run_once
+
+
+def test_fig10_edvs_distributions(benchmark):
+    result = run_once(benchmark, run_experiment, "fig10", PROFILE)
+    print(result.text)
+    # Power saved at every window size, throughput essentially intact.
+    assert all(saving > 0 for saving in result.data["savings"].values())
+    baseline_thr = result.data["baseline_throughput_mbps"]
+    assert all(
+        thr >= 0.95 * baseline_thr
+        for thr in result.data["edvs_throughput_mbps"].values()
+    )
+    # Transmit MEs never scale down.
+    assert all(
+        changes == [0, 0] for changes in result.data["tx_me_freq_changes"].values()
+    )
+
+
+def test_fig11_policy_comparison(benchmark):
+    result = run_once(benchmark, run_experiment, "fig11", PROFILE)
+    print(result.text)
+    tdvs = result.data["tdvs_savings"]
+    edvs = result.data["edvs_savings"]
+    # TDVS savings shrink as traffic rises (low > high) for every benchmark.
+    for bench_name, savings in tdvs.items():
+        assert savings[0] > savings[-1], bench_name
+    # nat gets ~no EDVS savings at any traffic level.
+    assert all(saving < 0.03 for saving in edvs["nat"])
+    # Memory-bound benchmarks do get EDVS savings at high traffic.
+    assert edvs["ipfwdr"][-1] > 0.05
+    assert edvs["url"][-1] > 0.05
+
+
+def test_idle_time_bimodality(benchmark):
+    result = run_once(benchmark, run_experiment, "idle", PROFILE)
+    print(result.text)
+    assert result.data["tx"]["<5%"] > 0.9
+    assert result.data["rx"][">=30%"] > 0.1

@@ -1,0 +1,40 @@
+"""Benches for the paper's static artifacts: Figures 1-5.
+
+Each bench regenerates the artifact and prints the rows the paper shows.
+"""
+
+from repro.experiments import run_experiment
+
+from conftest import PROFILE, run_once
+
+
+def test_fig01_ixp_table(benchmark):
+    result = run_once(benchmark, run_experiment, "fig01", PROFILE)
+    print(result.text)
+    powers = [row[5] for row in result.data["rows"][:3]]
+    assert powers == sorted(powers)
+
+
+def test_fig02_diurnal_traffic(benchmark):
+    result = run_once(benchmark, run_experiment, "fig02", PROFILE)
+    print(result.text)
+    assert result.data["peak_bps"] > 5 * result.data["trough_bps"]
+
+
+def test_fig03_trace_schema(benchmark):
+    result = run_once(benchmark, run_experiment, "fig03", PROFILE)
+    print(result.text)
+    assert result.data["events"] == ["pipeline", "forward", "fifo"]
+
+
+def test_fig04_trace_snapshot(benchmark):
+    result = run_once(benchmark, run_experiment, "fig04", PROFILE)
+    print(result.text)
+    assert "forward" in result.text
+
+
+def test_fig05_scaling_values(benchmark):
+    result = run_once(benchmark, run_experiment, "fig05", PROFILE)
+    print(result.text)
+    thresholds = [round(row[2]) for row in result.data["rows"]]
+    assert thresholds == [1000, 917, 833, 750, 667]

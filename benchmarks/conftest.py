@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Benches run each experiment once (``pedantic`` with a single round) at
+the ``bench`` profile: the goal is regenerating every figure/table and
+timing the harness honestly, not statistical micro-timing of 8M-cycle
+simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Profile used by all figure benches.
+PROFILE = "bench"
+
+
+@pytest.fixture(scope="session")
+def design_grid():
+    """Prime the shared Figures 6-9 grid outside any timed region."""
+    from repro.experiments.common import tdvs_design_space
+
+    return tdvs_design_space(PROFILE)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Detailed execution: assemble microcode, inspect it, run it on the chip.
+
+1. Assembles a small custom microcode program and single-steps it
+   through the interpreter, showing the step stream it produces.
+2. Shows the shipped `ipfwdr_uc` program's disassembly (the stride-trie
+   walk the microengines execute) and the table the serializer laid out
+   in simulated SRAM.
+3. Runs a full-chip simulation with the `ipfwdr_uc` benchmark —
+   every forwarded packet's route was decided by interpreted microcode
+   reading real SRAM words — and compares against the fast model.
+
+Run:  python examples/detailed_microcode.py
+"""
+
+from repro import RunConfig, TrafficConfig, run_simulation
+from repro.apps.base import AppResources
+from repro.apps.detailed import IpfwdrMicrocodeApp
+from repro.npu.assembler import assemble
+from repro.npu.interpreter import Interpreter
+from repro.npu.memstore import MemStore
+from repro.sim.rng import RngStreams
+from repro.traffic.packet import Packet
+
+DEMO_SOURCE = """
+.name checksum_demo
+.equ ACC_ADDR, 0x40
+
+    ; fold the 5-tuple into a 16-bit value and stash it in scratch
+    hash    r1, pkt_src, pkt_dst
+    hash    r1, r1, pkt_sport
+    and     r1, r1, 0xffff
+    li      r2, ACC_ADDR
+    scratch_wr r2, r1, 4
+    sram_rd r3, r2, 4          ; dummy table touch (timing-visible)
+    set_out_port pkt_port
+    puttx
+    done
+"""
+
+
+def make_packet(seq=0, dst=0x0A0B0C0D):
+    return Packet(
+        seq=seq, arrival_ps=0, size_bytes=256, src_ip=0xC0A80001, dst_ip=dst,
+        src_port=1234, dst_port=80, protocol=6, flow_id=seq % 64, input_port=3,
+    )
+
+
+def main() -> None:
+    # -- 1. a tiny custom program, single-stepped -----------------------
+    program = assemble(DEMO_SOURCE)
+    stores = {
+        "sram": MemStore("sram", 1 << 16),
+        "sdram": MemStore("sdram", 1 << 20),
+        "scratch": MemStore("scratch", 1 << 12),
+    }
+    interpreter = Interpreter(program, stores)
+    packet = make_packet()
+    steps = list(interpreter.steps_for_packet(packet))
+    print(f"'{program.name}' retired {interpreter.instructions_retired} "
+          f"instructions and produced {len(steps)} steps:")
+    for step in steps[:12]:
+        print(f"   {step!r}")
+    print(f"scratch[0x40] = {stores['scratch'].read_word(0x40):#x} "
+          f"(the folded 5-tuple)\n")
+
+    # -- 2. the shipped ipfwdr microcode ---------------------------------
+    app = IpfwdrMicrocodeApp(AppResources(num_ports=16,
+                                          rng_streams=RngStreams(7)))
+    listing = app.program.disassemble().splitlines()
+    print(f"ipfwdr_uc: {len(app.program)} instructions, "
+          f"{app.tables_emitted} stride tables serialized into SRAM "
+          f"({app.stores['sram'].words_in_use} words)")
+    print("\n".join(listing[:14]) + "\n   ...\n")
+
+    # Per-packet routing decided by real table walks:
+    for dst in (0x0A0B0C0D, 0x7F000001, 0xC0A80A0A):
+        pkt = make_packet(dst=dst)
+        list(app.rx_steps(pkt))
+        port, depth = app.trie.lookup(dst)
+        print(f"   dst={dst:#010x}: microcode routed to port "
+              f"{pkt.output_port}, binary-trie reference says {port} "
+              f"(depth {depth} bits)")
+    print()
+
+    # -- 3. full-chip runs: detailed vs fast -------------------------------
+    for bench in ("ipfwdr_uc", "ipfwdr"):
+        config = RunConfig(
+            benchmark=bench, duration_cycles=300_000, seed=3,
+            traffic=TrafficConfig(offered_load_mbps=700.0, process="cbr"),
+        )
+        result = run_simulation(config)
+        totals = result.totals
+        print(f"{bench:10s}: forwarded {totals.forwarded_packets:4d} packets, "
+              f"{totals.throughput_mbps:6.1f} Mbps, "
+              f"{totals.mean_power_w:.3f} W, loss {totals.loss_fraction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

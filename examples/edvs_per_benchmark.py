@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""EDVS across all four benchmarks (the paper's Section 4.2/4.3 story).
+
+For each benchmark the script runs no-DVS and EDVS at a high traffic
+sample and reports power savings, throughput change and the per-ME
+frequency picture.  The paper's qualitative findings show up directly:
+
+* `nat` (compute-bound, ~no memory waits) gets no savings — its MEs are
+  never idle, so EDVS never scales them down;
+* the memory-intensive benchmarks (`url`, `md4`, `ipfwdr`) idle on SDRAM
+  under load and get solid savings with near-zero throughput cost;
+* transmit MEs never scale down on any benchmark.
+
+Run:  python examples/edvs_per_benchmark.py
+"""
+
+from repro import DvsConfig, RunConfig, TrafficConfig, run_simulation
+
+CYCLES = 1_600_000
+LOAD_MBPS = 1550.0
+
+
+def run(benchmark: str, policy: str):
+    config = RunConfig(
+        benchmark=benchmark,
+        duration_cycles=CYCLES,
+        seed=7,
+        traffic=TrafficConfig(offered_load_mbps=LOAD_MBPS),
+        dvs=DvsConfig(policy=policy, window_cycles=40_000, idle_threshold=0.10),
+    )
+    return run_simulation(config)
+
+
+def main() -> None:
+    print(f"EDVS vs noDVS at {LOAD_MBPS:.0f} Mbps offered "
+          f"({CYCLES:,} reference cycles)\n")
+    header = (f"{'benchmark':9s} {'noDVS W':>8s} {'EDVS W':>8s} {'saving':>7s} "
+              f"{'thr delta':>9s} {'rx idle':>8s} {'rx freqs (MHz)':>20s}")
+    print(header)
+    print("-" * len(header))
+    for benchmark in ("ipfwdr", "url", "nat", "md4"):
+        base = run(benchmark, "none")
+        edvs = run(benchmark, "edvs")
+        saving = 1.0 - edvs.mean_power_w / base.mean_power_w
+        thr_delta = (
+            edvs.throughput_mbps / base.throughput_mbps - 1.0
+            if base.throughput_mbps
+            else 0.0
+        )
+        rx = [me for me in base.totals.me_summaries if me.role == "rx"]
+        rx_idle = sum(me.idle_fraction for me in rx) / len(rx)
+        rx_freqs = [
+            f"{me.freq_mhz:.0f}"
+            for me in edvs.totals.me_summaries
+            if me.role == "rx"
+        ]
+        print(f"{benchmark:9s} {base.mean_power_w:8.3f} {edvs.mean_power_w:8.3f} "
+              f"{saving * 100:6.1f}% {thr_delta * 100:+8.2f}% "
+              f"{rx_idle * 100:7.1f}% {'/'.join(rx_freqs):>20s}")
+
+    print("\nTransmit MEs (any benchmark) never scale down: their threads "
+          "poll the TFIFO between transfers, so idle time stays under the "
+          "10% threshold — exactly the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+editable installs work in offline environments that lack the ``wheel``
+package (legacy ``pip install -e .`` path).
+"""
+
+from setuptools import setup
+
+setup()

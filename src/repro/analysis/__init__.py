@@ -1,0 +1,28 @@
+"""Analysis utilities on top of LOC distribution results.
+
+* :mod:`~repro.analysis.surface` — the (threshold x window) percentile
+  surfaces of the paper's Figures 8 and 9;
+* :mod:`~repro.analysis.report` — plain-text renderers for every figure
+  and table (curve series, 3-D surface grids, comparison panels);
+* :mod:`~repro.analysis.compare` — policy comparison summaries
+  (Figure 11's noDVS / EDVS / TDVS panels).
+"""
+
+from repro.analysis.compare import PolicyComparison, PolicyOutcome
+from repro.analysis.report import (
+    format_curve,
+    format_curve_family,
+    format_surface,
+    format_table,
+)
+from repro.analysis.surface import PercentileSurface
+
+__all__ = [
+    "PercentileSurface",
+    "PolicyComparison",
+    "PolicyOutcome",
+    "format_curve",
+    "format_curve_family",
+    "format_surface",
+    "format_table",
+]

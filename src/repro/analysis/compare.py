@@ -1,0 +1,125 @@
+"""Policy comparison: the Figure 11 reduction.
+
+For each (benchmark, traffic level) cell the paper overlays the power
+distributions of noDVS / EDVS / TDVS.  :class:`PolicyComparison` holds
+the three outcomes per cell, computes power savings and throughput deltas
+relative to the no-DVS baseline, and renders the comparison panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.errors import AnalysisError
+from repro.loc.analyzer import DistributionResult
+
+
+@dataclass
+class PolicyOutcome:
+    """One policy's measured outcome in one cell."""
+
+    policy: str
+    mean_power_w: float
+    throughput_mbps: float
+    loss_fraction: float
+    power_distribution: Optional[DistributionResult] = None
+
+
+class PolicyComparison:
+    """Grid of outcomes keyed by (benchmark, level, policy)."""
+
+    POLICIES = ("none", "edvs", "tdvs")
+
+    def __init__(self, benchmarks: Sequence[str], levels: Sequence[str]):
+        if not benchmarks or not levels:
+            raise AnalysisError("comparison axes must be non-empty")
+        self.benchmarks = list(benchmarks)
+        self.levels = list(levels)
+        self._cells: Dict[Tuple[str, str, str], PolicyOutcome] = {}
+
+    def add(self, benchmark: str, level: str, outcome: PolicyOutcome) -> None:
+        """Record one policy outcome."""
+        if benchmark not in self.benchmarks or level not in self.levels:
+            raise AnalysisError(f"cell ({benchmark}, {level}) not on the axes")
+        if outcome.policy not in self.POLICIES:
+            raise AnalysisError(f"unknown policy {outcome.policy!r}")
+        self._cells[(benchmark, level, outcome.policy)] = outcome
+
+    def outcome(self, benchmark: str, level: str, policy: str) -> PolicyOutcome:
+        """Fetch one recorded outcome."""
+        try:
+            return self._cells[(benchmark, level, policy)]
+        except KeyError:
+            raise AnalysisError(
+                f"no outcome recorded for ({benchmark}, {level}, {policy})"
+            ) from None
+
+    def power_saving(self, benchmark: str, level: str, policy: str) -> float:
+        """Fractional power saving of ``policy`` vs. the no-DVS baseline."""
+        baseline = self.outcome(benchmark, level, "none").mean_power_w
+        if baseline <= 0:
+            raise AnalysisError("baseline power must be positive")
+        measured = self.outcome(benchmark, level, policy).mean_power_w
+        return 1.0 - measured / baseline
+
+    def throughput_delta(self, benchmark: str, level: str, policy: str) -> float:
+        """Fractional throughput change vs. the no-DVS baseline."""
+        baseline = self.outcome(benchmark, level, "none").throughput_mbps
+        if baseline <= 0:
+            return 0.0
+        measured = self.outcome(benchmark, level, policy).throughput_mbps
+        return measured / baseline - 1.0
+
+    # ------------------------------------------------------------------
+    # Paper-conclusion checks (used by tests and EXPERIMENTS.md)
+    # ------------------------------------------------------------------
+    def tdvs_savings_by_level(self, benchmark: str) -> List[float]:
+        """TDVS savings ordered by the comparison's level order."""
+        return [
+            self.power_saving(benchmark, level, "tdvs") for level in self.levels
+        ]
+
+    def edvs_savings_by_level(self, benchmark: str) -> List[float]:
+        """EDVS savings ordered by the comparison's level order."""
+        return [
+            self.power_saving(benchmark, level, "edvs") for level in self.levels
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, title: str = "Policy comparison (vs. noDVS)") -> str:
+        """The Figure 11 panel as a table."""
+        headers = (
+            "benchmark",
+            "traffic",
+            "noDVS W",
+            "EDVS W",
+            "EDVS save",
+            "TDVS W",
+            "TDVS save",
+            "EDVS thr delta",
+            "TDVS thr delta",
+        )
+        rows = []
+        for benchmark in self.benchmarks:
+            for level in self.levels:
+                base = self.outcome(benchmark, level, "none")
+                edvs = self.outcome(benchmark, level, "edvs")
+                tdvs = self.outcome(benchmark, level, "tdvs")
+                rows.append(
+                    (
+                        benchmark,
+                        level,
+                        f"{base.mean_power_w:.3f}",
+                        f"{edvs.mean_power_w:.3f}",
+                        f"{self.power_saving(benchmark, level, 'edvs') * 100:.1f}%",
+                        f"{tdvs.mean_power_w:.3f}",
+                        f"{self.power_saving(benchmark, level, 'tdvs') * 100:.1f}%",
+                        f"{self.throughput_delta(benchmark, level, 'edvs') * 100:+.1f}%",
+                        f"{self.throughput_delta(benchmark, level, 'tdvs') * 100:+.1f}%",
+                    )
+                )
+        return format_table(headers, rows, title=title)

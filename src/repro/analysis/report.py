@@ -1,0 +1,114 @@
+"""Plain-text rendering for tables, curve families and surfaces.
+
+All experiment output goes through these helpers, so every figure and
+table of the paper has a uniform, diff-friendly text form (the moral
+equivalent of the paper's gnuplot data files).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise AnalysisError("table needs headers")
+    cells = [[_fmt(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve(
+    points: Sequence[Tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "fraction",
+    title: Optional[str] = None,
+    max_rows: int = 20,
+) -> str:
+    """Render one (x, y) series, evenly thinned to ``max_rows``."""
+    shown = _thin(points, max_rows)
+    return format_table(
+        (x_label, y_label),
+        [(x, f"{y:.4f}") for x, y in shown],
+        title=title,
+    )
+
+
+def format_curve_family(
+    curves: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    max_rows: int = 16,
+) -> str:
+    """Render several curves sharing an x-axis as one table.
+
+    This is the text form of the paper's multi-line distribution plots
+    (e.g. one column per window size plus noDVS).
+    """
+    if not curves:
+        raise AnalysisError("curve family is empty")
+    base_x = [x for x, _ in curves[0][1]]
+    for name, points in curves:
+        if [x for x, _ in points] != base_x:
+            raise AnalysisError(f"curve {name!r} has a mismatched x-axis")
+    headers = [x_label] + [name for name, _ in curves]
+    rows = []
+    for index, x in enumerate(base_x):
+        rows.append([x] + [f"{points[index][1]:.4f}" for _, points in curves])
+    rows = _thin(rows, max_rows)
+    return format_table(headers, rows, title=title)
+
+
+def format_surface(
+    row_values: Sequence[float],
+    col_values: Sequence[float],
+    grid: Sequence[Sequence[float]],
+    row_label: str = "row",
+    col_label: str = "col",
+    title: Optional[str] = None,
+) -> str:
+    """Render a 2-D surface as a grid table (Figures 8/9 text form)."""
+    headers = [f"{row_label} \\ {col_label}"] + [_fmt(c) for c in col_values]
+    rows = []
+    for row_value, row in zip(row_values, grid):
+        rows.append([_fmt(row_value)] + [f"{v:.4g}" for v in row])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _thin(rows: Sequence, max_rows: int) -> List:
+    if len(rows) <= max_rows:
+        return list(rows)
+    stride = (len(rows) - 1) / (max_rows - 1)
+    return [rows[round(k * stride)] for k in range(max_rows)]

@@ -1,0 +1,100 @@
+"""`md4` — 128-bit digital signatures over packet payloads.
+
+The paper: "It moves data packets from SDRAM to SRAM and accesses SRAM
+multiple times for computation.  It is therefore both memory and
+computation intensive."  The model:
+
+receive
+    parse; store the packet to SDRAM; then per 64-byte MD4 block: fetch
+    the block from SDRAM, stage it into SRAM, read it back for the
+    compute rounds (the "accesses SRAM multiple times"), and charge the
+    48-step MD4 round cost; finally write the 16-byte digest to SRAM and
+    enqueue.  Block count uses the real RFC 1320 padding rule.
+transmit
+    standard descriptor + SDRAM fetch + MAC handoff.
+
+In detailed runs the digest is actually computed with
+:func:`repro.apps.md4_core.md4_digest` over the packet's materialized
+payload (tests verify against the RFC test vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.apps.base import (
+    CHUNK_BYTES,
+    AppModel,
+    AppProfile,
+    AppResources,
+    chunks_of,
+    register_app,
+)
+from repro.apps.md4_core import OPS_PER_BLOCK, md4_blocks_for, md4_digest
+from repro.npu.steps import Compute, MemRead, MemWrite, PutTx, Step
+from repro.traffic.packet import Packet
+
+#: md4's cost profile.
+MD4_PROFILE = AppProfile(
+    rx_header_instr=200,
+    rx_chunk_instr=100,
+    rx_finish_instr=150,
+    lookup_step_instr=20,
+    enqueue_instr=30,
+    tx_header_instr=50,
+    tx_chunk_instr=60,
+    tx_finish_instr=40,
+)
+
+#: Digest bytes written back to SRAM.
+DIGEST_BYTES = 16
+
+
+class Md4App(AppModel):
+    """Per-packet MD4 signatures: memory- and compute-intensive."""
+
+    name = "md4"
+
+    def __init__(
+        self,
+        resources: AppResources,
+        profile=None,
+        compute_real_digests: bool = False,
+    ):
+        super().__init__(resources, profile or MD4_PROFILE)
+        #: When true, actually hash each packet's payload (slow; used by
+        #: detailed runs and tests rather than the big sweeps).
+        self.compute_real_digests = compute_real_digests
+        self.blocks_hashed = 0
+        self.last_digest: Optional[bytes] = None
+
+    def rx_steps(self, packet: Packet) -> Iterator[Step]:
+        profile = self.profile
+        yield Compute(profile.rx_header_instr)
+        # Store the packet to SDRAM.
+        for _ in range(chunks_of(packet.size_bytes)):
+            yield Compute(profile.rx_chunk_instr)
+            yield MemWrite("sdram", CHUNK_BYTES)
+        # Hash the payload block by block: SDRAM -> SRAM -> rounds.
+        blocks = md4_blocks_for(packet.payload_bytes_len)
+        for _ in range(blocks):
+            yield MemRead("sdram", CHUNK_BYTES)
+            yield MemWrite("sram", CHUNK_BYTES)
+            yield MemRead("sram", CHUNK_BYTES)
+            yield Compute(OPS_PER_BLOCK)
+        self.blocks_hashed += blocks
+        if self.compute_real_digests:
+            self.last_digest = md4_digest(packet.payload())
+        # Digest write-back and descriptor enqueue.
+        yield MemWrite("sram", DIGEST_BYTES)
+        yield Compute(profile.rx_finish_instr)
+        packet.output_port = packet.input_port
+        yield MemWrite("scratch", 8)
+        yield Compute(profile.enqueue_instr)
+        yield PutTx()
+
+    def tx_steps(self, packet: Packet) -> Iterator[Step]:
+        return self._standard_tx_steps(packet, fetch_sdram=True)
+
+
+register_app("md4", Md4App)

@@ -1,0 +1,267 @@
+"""Microcode programs and table serializers for detailed execution.
+
+This module provides everything the detailed mode needs to run *real*
+microcode through the interpreter:
+
+* :func:`serialize_stride_trie` — compiles a binary
+  :class:`~repro.apps.routing.RoutingTrie` into an 8-bit-stride lookup
+  table laid out in simulated SRAM words (the data structure IXP
+  reference forwarding code actually walks);
+* ``IPFWDR_UC`` — IP forwarding microcode: chunked packet store to
+  SDRAM, a data-dependent stride-table walk over the serialized trie,
+  port-info read, descriptor enqueue;
+* ``NAT_UC`` — NAT microcode: 5-tuple hashing, a bucket probe in SRAM
+  with a real compare-and-branch, entry install on miss with a
+  scratchpad port counter, and the compute-heavy rewrite loop.
+
+The programs' *decisions* (output ports, hit/miss behaviour) come from
+the memory contents, so tests can assert they agree with the fast
+models and the pure-Python reference structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.routing import RoutingTrie
+from repro.errors import NpuError
+from repro.npu.memstore import MemStore
+
+#: Stride-table layout constants (byte addresses in SRAM).
+TRIE_BASE = 0x0000
+TABLE_BYTES = 256 * 4
+LEAF_FLAG = 0x80000000
+
+#: NAT region layout (byte addresses in SRAM / scratch).
+NAT_BASE = 0x0010_0000
+NAT_BUCKETS = 4096
+NAT_ENTRY_BYTES = 16
+#: Scratch address of the free-port counter — above the descriptor ring,
+#: which occupies scratch bytes 0..2047 ((flow & 0xff) << 3).
+NAT_PORT_COUNTER_ADDR = 0x0804
+NAT_PORT_BASE = 20_000
+
+#: SDRAM staging layout for packet bodies in detailed mode.
+PKT_REGION_BASE = 0x0000_0000
+PKT_SLOT_BYTES = 2048
+PKT_SLOTS = 4096
+
+#: SDRAM region holding per-port output info blocks.
+PORT_INFO_BASE = 0x0100_0000
+
+
+def _subtree_has_routes(node) -> bool:
+    """True if any node strictly below ``node`` carries a next hop."""
+    for child in (node.zero, node.one):
+        if child is not None:
+            if child.next_hop is not None or _subtree_has_routes(child):
+                return True
+    return False
+
+
+def serialize_stride_trie(
+    trie: RoutingTrie, store: MemStore, base_addr: int = TRIE_BASE
+) -> int:
+    """Write an 8-bit-stride LPM table for ``trie`` into ``store``.
+
+    Returns the number of 256-entry tables emitted.  Entry encoding:
+    bit 31 set -> leaf, low 8 bits are the output port; otherwise the
+    word is the byte address of the next-level table (never zero, since
+    level-1+ tables start one table past the root).
+    """
+    tables: List[Optional[List[Tuple[str, int]]]] = []
+
+    def walk(node, inherited_port: int, depth: int) -> int:
+        table_index = len(tables)
+        tables.append(None)
+        entries: List[Tuple[str, int]] = []
+        for byte in range(256):
+            current = node
+            port = inherited_port
+            for bit_position in range(8):
+                if current is None:
+                    break
+                bit = (byte >> (7 - bit_position)) & 1
+                current = current.one if bit else current.zero
+                if current is not None and current.next_hop is not None:
+                    port = current.next_hop
+            if current is not None and depth < 3 and _subtree_has_routes(current):
+                entries.append(("table", walk(current, port, depth + 1)))
+            else:
+                entries.append(("leaf", port))
+        tables[table_index] = entries
+        return table_index
+
+    root_port = trie.root.next_hop
+    if root_port is None:
+        raise NpuError("trie has no default route")
+    walk(trie.root, root_port, 0)
+
+    for table_index, entries in enumerate(tables):
+        assert entries is not None
+        table_addr = base_addr + table_index * TABLE_BYTES
+        for byte, (kind, value) in enumerate(entries):
+            if kind == "leaf":
+                word = LEAF_FLAG | (value & 0xFF)
+            else:
+                word = base_addr + value * TABLE_BYTES
+            store.write_word(table_addr + byte * 4, word)
+    return len(tables)
+
+
+def stride_lookup_reference(store: MemStore, base_addr: int, address: int) -> int:
+    """Pure-Python walk of a serialized table (test oracle)."""
+    table_addr = base_addr
+    for level in range(4):
+        byte = (address >> (24 - 8 * level)) & 0xFF
+        word = store.read_word(table_addr + byte * 4)
+        if word & LEAF_FLAG:
+            return word & 0xFF
+        table_addr = word
+    raise NpuError("stride table deeper than 4 levels")
+
+
+def write_port_info_blocks(store: MemStore, num_ports: int) -> None:
+    """Populate the SDRAM port-info blocks (one 8-byte record per port)."""
+    for port in range(num_ports):
+        store.write_word(PORT_INFO_BASE + port * 8, 0x1000 + port)
+        store.write_word(PORT_INFO_BASE + port * 8 + 4, port)
+
+
+#: IP forwarding microcode.  Register plan:
+#:   r1 table addr    r2 shift      r3 stride byte   r4 entry addr
+#:   r5 entry word    r6 out port   r10 bytes left   r11 sdram addr
+#:   r12 burn counter r14 descriptor scratch addr
+IPFWDR_UC = f"""
+.name ipfwdr_uc
+.equ TRIE_BASE, {TRIE_BASE}
+.equ LEAF_FLAG, {LEAF_FLAG}
+.equ PKT_REGION, {PKT_REGION_BASE}
+.equ PKT_SLOT, {PKT_SLOT_BYTES}
+.equ SLOT_MASK, {PKT_SLOTS - 1}
+.equ PORT_INFO, {PORT_INFO_BASE}
+
+    ; ---- header parse / validation (busy work) ----
+    li      r12, 60
+parse:
+    sub     r12, r12, 1
+    xor     r13, r12, r12
+    bne     r12, zero, parse
+
+    ; ---- store packet to SDRAM in 64-byte chunks ----
+    and     r11, pkt_flow, SLOT_MASK
+    mul     r11, r11, PKT_SLOT
+    add     r11, r11, PKT_REGION
+    mov     r15, r11                 ; keep buffer base for TX
+    mov     r10, pkt_size
+    li      r16, 64
+store_loop:
+    li      r12, 14                  ; per-chunk alignment/bookkeeping
+burn_chunk:
+    sub     r12, r12, 1
+    add     r13, r13, r12
+    bne     r12, zero, burn_chunk
+    sdram_wr r11, r13, 64
+    add     r11, r11, 64
+    ble     r10, r16, store_done     ; this chunk covered the remainder
+    sub     r10, r10, 64
+    br      store_loop
+store_done:
+
+    ; ---- LPM walk over the stride table in SRAM ----
+    li      r1, TRIE_BASE
+    li      r2, 24
+lookup:
+    shr     r3, pkt_dst, r2
+    and     r3, r3, 0xff
+    shl     r4, r3, 2
+    add     r4, r1, r4
+    sram_rd r5, r4, 4
+    and     r6, r5, LEAF_FLAG
+    bne     r6, zero, leaf
+    mov     r1, r5                   ; descend to the next-level table
+    sub     r2, r2, 8
+    br      lookup
+leaf:
+    and     r6, r5, 0xff
+    set_out_port r6
+
+    ; ---- output-port info from SDRAM ----
+    shl     r7, r6, 3
+    add     r7, r7, PORT_INFO
+    sdram_rd r8, r7, 8
+
+    ; ---- post-lookup bookkeeping ----
+    li      r12, 18
+finish:
+    sub     r12, r12, 1
+    add     r13, r13, r8
+    bne     r12, zero, finish
+
+    ; ---- descriptor enqueue through scratch ----
+    and     r14, pkt_flow, 0xff
+    shl     r14, r14, 3
+    scratch_wr r14, r15, 8
+    puttx
+    done
+"""
+
+
+#: NAT microcode.  Register plan:
+#:   r1 running hash   r2 bucket addr  r3 stored key  r4 port counter
+#:   r5 counter addr   r6 out port     r12 loop counter
+NAT_UC = f"""
+.name nat_uc
+.equ NAT_BASE, {NAT_BASE}
+.equ BUCKET_MASK, {NAT_BUCKETS - 1}
+.equ CTR_ADDR, {NAT_PORT_COUNTER_ADDR}
+
+    ; ---- header parse ----
+    li      r12, 36
+parse:
+    sub     r12, r12, 1
+    bne     r12, zero, parse
+
+    ; ---- hash the 5-tuple ----
+    hash    r1, pkt_src, pkt_dst
+    hash    r1, r1, pkt_sport
+    hash    r1, r1, pkt_dport
+    hash    r1, r1, pkt_proto
+    or      r1, r1, 1                ; keys are never zero (0 = empty)
+
+    ; ---- probe the bucket in SRAM ----
+    and     r2, r1, BUCKET_MASK
+    shl     r2, r2, 4
+    add     r2, r2, NAT_BASE
+    sram_rd r3, r2, 16
+    beq     r3, r1, hit
+
+    ; ---- miss: install the translation ----
+    sram_wr r2, r1, 16
+    li      r5, CTR_ADDR
+    scratch_rd r4, r5, 4
+    add     r4, r4, 1
+    scratch_wr r5, r4, 4
+
+hit:
+    ; ---- header rewrite + incremental checksum (compute heavy) ----
+    li      r12, 196
+rewrite:
+    sub     r12, r12, 1
+    xor     r13, r13, r12
+    add     r13, r13, r1
+    shr     r14, r13, 3
+    or      r13, r13, r14
+    and     r13, r13, 0xffffff
+    mul     r14, r12, 3
+    bne     r12, zero, rewrite
+
+    ; ---- route on the flow and enqueue ----
+    and     r6, pkt_flow, 15
+    set_out_port r6
+    and     r14, pkt_flow, 0xff
+    shl     r14, r14, 3
+    scratch_wr r14, r13, 8
+    puttx
+    done
+"""

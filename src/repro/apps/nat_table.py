@@ -1,0 +1,73 @@
+"""NAT translation table.
+
+`nat` rewrites each packet's source endpoint according to a translation
+entry looked up (one SRAM access) by the packet's 5-tuple; unknown flows
+allocate a new external port.  The table is a real hash map with an
+explicit external-port allocator so translations are stable per flow and
+collisions/port exhaustion are honest failure modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NpuError
+
+FiveTuple = Tuple[int, int, int, int, int]
+
+
+class NatTable:
+    """Source-NAT translation state.
+
+    Parameters
+    ----------
+    external_ip:
+        The single external address translations map to.
+    port_base / port_count:
+        External port range handed out to new flows.
+    """
+
+    def __init__(
+        self,
+        external_ip: int = 0xC0A80001,
+        port_base: int = 20_000,
+        port_count: int = 40_000,
+    ):
+        if port_count <= 0:
+            raise NpuError(f"port_count must be positive, got {port_count}")
+        self.external_ip = external_ip
+        self.port_base = port_base
+        self.port_count = port_count
+        self._entries: Dict[FiveTuple, Tuple[int, int]] = {}
+        self._next_port = 0
+        self.hits = 0
+        self.misses = 0
+        self.exhaustions = 0
+
+    def translate(self, five_tuple: FiveTuple) -> Optional[Tuple[int, int]]:
+        """Return ``(external_ip, external_port)`` for a flow.
+
+        Known flows hit the existing entry; unknown flows allocate the
+        next external port.  Returns ``None`` when the port pool is
+        exhausted (the packet would be dropped).
+        """
+        entry = self._entries.get(five_tuple)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        if len(self._entries) >= self.port_count:
+            self.exhaustions += 1
+            return None
+        self.misses += 1
+        port = self.port_base + self._next_port
+        self._next_port += 1
+        entry = (self.external_ip, port)
+        self._entries[five_tuple] = entry
+        return entry
+
+    def is_known(self, five_tuple: FiveTuple) -> bool:
+        """True if the flow already has a translation."""
+        return five_tuple in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,94 @@
+"""`url` — URL-request-based routing.
+
+The paper: "It checks the payload of packets frequently, so it needs a
+large number of SRAM and SDRAM accesses" — the most memory-intensive of
+the four benchmarks.  The model:
+
+receive
+    parse the header; store the packet to SDRAM; then *re-read* every
+    payload chunk back from SDRAM and scan it for a URL token (heavy
+    per-chunk compute); probe the SRAM URL table (a few hash probes);
+    route on the match; enqueue the descriptor.
+transmit
+    standard descriptor + SDRAM fetch + MAC handoff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.apps.base import (
+    CHUNK_BYTES,
+    AppModel,
+    AppProfile,
+    AppResources,
+    chunks_of,
+    register_app,
+)
+from repro.npu.steps import Compute, MemRead, MemWrite, PutTx, Step
+from repro.traffic.packet import Packet
+
+#: SRAM bytes per URL-table probe (one bucket record).
+URL_BUCKET_BYTES = 16
+#: Number of hash probes per lookup.
+URL_PROBES = 3
+#: SDRAM bytes of the route/port information block.
+PORT_INFO_BYTES = 8
+
+#: url's cost profile: payload scanning dominates.
+URL_PROFILE = AppProfile(
+    rx_header_instr=250,
+    rx_chunk_instr=130,
+    rx_finish_instr=120,
+    lookup_step_instr=30,
+    enqueue_instr=30,
+    tx_header_instr=50,
+    tx_chunk_instr=60,
+    tx_finish_instr=40,
+)
+
+#: Instructions per payload chunk scanned for the URL token (~2.7/byte).
+SCAN_CHUNK_INSTR = 170
+
+
+class UrlApp(AppModel):
+    """URL routing: payload scanning plus SRAM hash-table probing."""
+
+    name = "url"
+
+    def __init__(self, resources: AppResources, profile=None):
+        super().__init__(resources, profile or URL_PROFILE)
+        self._route_rng = resources.rng_streams.get("apps.url.routes")
+        self.scanned_chunks = 0
+
+    def rx_steps(self, packet: Packet) -> Iterator[Step]:
+        profile = self.profile
+        yield Compute(profile.rx_header_instr)
+        nchunks = chunks_of(packet.size_bytes)
+        # Store the packet to SDRAM...
+        for _ in range(nchunks):
+            yield Compute(profile.rx_chunk_instr)
+            yield MemWrite("sdram", CHUNK_BYTES)
+        # ...then read the payload back chunk by chunk and scan it.
+        payload_chunks = chunks_of(packet.payload_bytes_len)
+        for _ in range(payload_chunks):
+            yield MemRead("sdram", CHUNK_BYTES)
+            yield Compute(SCAN_CHUNK_INSTR)
+            self.scanned_chunks += 1
+        # Probe the URL table in SRAM.
+        for _ in range(URL_PROBES):
+            yield MemRead("sram", URL_BUCKET_BYTES)
+            yield Compute(profile.lookup_step_instr)
+        # Route on the (deterministic per-flow) match.
+        packet.output_port = packet.flow_id % self.resources.num_ports
+        yield MemRead("sdram", PORT_INFO_BYTES)
+        yield Compute(profile.rx_finish_instr)
+        yield MemWrite("scratch", 8)
+        yield Compute(profile.enqueue_instr)
+        yield PutTx()
+
+    def tx_steps(self, packet: Packet) -> Iterator[Step]:
+        return self._standard_tx_steps(packet, fetch_sdram=True)
+
+
+register_app("url", UrlApp)

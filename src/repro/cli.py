@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list                              # list experiments
+    repro run fig06 [--profile quick]       # regenerate one figure
+    repro run all  [--profile quick]        # regenerate everything
+    repro simulate --benchmark ipfwdr --load 1000 --policy tdvs ...
+    repro loc-gen "FORMULA" --out analyzer.py
+
+``repro simulate`` runs a single configuration and prints the totals;
+``repro loc-gen`` emits a standalone LOC analyzer script for a formula.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import DvsConfig, RunConfig, TrafficConfig
+from repro.experiments import get_experiment, list_experiments
+from repro.loc.codegen import generate_analyzer_source
+from repro.runner import run_simulation
+from repro.version import PAPER, __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=f"Reproduction toolkit for: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, or 'all'")
+    run_parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("bench", "quick", "paper"),
+        help="run-length profile (default: quick)",
+    )
+    run_parser.add_argument(
+        "--out", default=None, help="write output to this file instead of stdout"
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiments' data dictionaries as JSON instead of text",
+    )
+
+    sim_parser = sub.add_parser("simulate", help="run one simulation")
+    sim_parser.add_argument("--benchmark", default="ipfwdr")
+    sim_parser.add_argument("--load", type=float, default=1000.0, help="offered Mbps")
+    sim_parser.add_argument(
+        "--policy", default="none", choices=("none", "tdvs", "edvs")
+    )
+    sim_parser.add_argument("--window", type=int, default=40_000, help="cycles")
+    sim_parser.add_argument("--threshold", type=float, default=1000.0, help="Mbps")
+    sim_parser.add_argument("--idle-threshold", type=float, default=0.10)
+    sim_parser.add_argument("--cycles", type=int, default=1_600_000)
+    sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument(
+        "--process", default="mmpp", choices=("mmpp", "poisson", "cbr")
+    )
+
+    gen_parser = sub.add_parser("loc-gen", help="generate a standalone LOC analyzer")
+    gen_parser.add_argument("formula", help="LOC formula text")
+    gen_parser.add_argument("--out", default=None, help="output path (default stdout)")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in list_experiments():
+        experiment = get_experiment(experiment_id)
+        print(f"{experiment_id:15s} {experiment.paper_ref:12s} {experiment.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    chunks = []
+    for experiment_id in ids:
+        result = get_experiment(experiment_id).run(profile=args.profile)
+        if args.json:
+            chunks.append(result.to_json())
+        else:
+            chunks.append(f"## {experiment_id}\n\n{result.text}")
+    if args.json:
+        output = "[\n" + ",\n".join(chunks) + "\n]\n" if len(chunks) > 1 else chunks[0] + "\n"
+    else:
+        output = "\n\n\n".join(chunks) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"wrote {args.out}")
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    dvs = DvsConfig(
+        policy=args.policy,
+        window_cycles=args.window,
+        top_threshold_mbps=args.threshold,
+        idle_threshold=args.idle_threshold,
+    )
+    config = RunConfig(
+        benchmark=args.benchmark,
+        duration_cycles=args.cycles,
+        seed=args.seed,
+        traffic=TrafficConfig(offered_load_mbps=args.load, process=args.process),
+        dvs=dvs,
+    )
+    result = run_simulation(config)
+    totals = result.totals
+    print(f"benchmark        : {args.benchmark}")
+    print(f"policy           : {args.policy}")
+    print(f"simulated time   : {totals.duration_s * 1e3:.3f} ms")
+    print(f"offered          : {totals.offered_mbps:.1f} Mbps "
+          f"({totals.offered_packets} packets)")
+    print(f"forwarded        : {totals.throughput_mbps:.1f} Mbps "
+          f"({totals.forwarded_packets} packets)")
+    print(f"loss             : {totals.loss_fraction * 100:.2f}%")
+    print(f"mean power       : {totals.mean_power_w:.3f} W")
+    if args.policy != "none":
+        print(f"VF transitions   : {result.governor_transitions}")
+        print(f"monitor overhead : {result.dvs_overhead_w * 1e3:.3f} mW")
+    for me in totals.me_summaries:
+        print(
+            f"  ME{me.index} ({me.role}) busy={me.busy_fraction:.2f} "
+            f"idle={me.idle_fraction:.2f} stalled={me.stalled_fraction:.2f} "
+            f"freq={me.freq_mhz:.0f}MHz"
+        )
+    return 0
+
+
+def _cmd_loc_gen(args) -> int:
+    source = generate_analyzer_source(args.formula)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.out}")
+    else:
+        print(source, end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "loc-gen":
+        return _cmd_loc_gen(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

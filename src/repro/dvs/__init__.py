@@ -1,0 +1,23 @@
+"""Dynamic voltage scaling: the paper's two policies.
+
+* :class:`~repro.dvs.vf_table.VfTable` — the XScale-style ladder of
+  voltage/frequency points (600 MHz/1.3 V down to 400 MHz/1.1 V in
+  50 MHz steps) and the frequency-proportional traffic thresholds of the
+  paper's Figure 5;
+* :class:`~repro.dvs.tdvs.TdvsGovernor` — traffic-based DVS: chip-wide
+  VF steps driven by the aggregate arrival volume at the 16 device ports
+  per monitoring window;
+* :class:`~repro.dvs.edvs.EdvsGovernor` — execution-based DVS: per-ME VF
+  steps driven by each engine's idle-time fraction (all threads blocked
+  on memory) per window.
+
+Every VF change stalls the affected microengine(s) for the transition
+penalty (10 us = 6000 cycles at 600 MHz), which is what makes small
+windows expensive.
+"""
+
+from repro.dvs.edvs import EdvsGovernor
+from repro.dvs.tdvs import TdvsGovernor
+from repro.dvs.vf_table import VfPoint, VfTable
+
+__all__ = ["EdvsGovernor", "TdvsGovernor", "VfPoint", "VfTable"]

@@ -1,0 +1,82 @@
+"""Shared governor machinery: windows, transitions, penalties.
+
+Both policies follow the same skeleton — observe a window, compare a
+control signal against a threshold, step the VF ladder by at most one
+level, pay the transition penalty — and differ only in the signal
+(arrival traffic vs. idle time) and the scaling domain (chip-wide vs.
+per-ME).  The base class owns the mechanical parts so the policy classes
+stay small and the experiments can count transitions uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import DvsConfig
+from repro.dvs.vf_table import VfTable
+from repro.npu.microengine import Microengine
+from repro.power.overhead import DvsOverheadMeter
+from repro.sim.kernel import Simulator
+from repro.units import us_to_ps
+
+
+class GovernorBase:
+    """Common state and transition mechanics for DVS governors."""
+
+    #: Policy name used in reports; subclasses override.
+    policy = "none"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DvsConfig,
+        vf_table: VfTable,
+        overhead: Optional[DvsOverheadMeter] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.vf_table = vf_table
+        self.overhead = overhead
+        self.penalty_ps = us_to_ps(config.transition_penalty_us)
+        self.transitions = 0
+        self.windows_evaluated = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin scheduling window evaluations."""
+        if self._started:
+            raise RuntimeError(f"{type(self).__name__} already started")
+        self._started = True
+        self._schedule_first()
+
+    def _schedule_first(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Transition mechanics
+    # ------------------------------------------------------------------
+    def _apply_level(self, mes: List[Microengine], level: int) -> None:
+        """Move ``mes`` to ``level``: stall for the penalty, switch VF."""
+        point = self.vf_table[level]
+        for me in mes:
+            me.stall_for(self.penalty_ps)
+            me.set_vf(point.freq_hz, point.vdd)
+        self.transitions += 1
+
+    def _charge_window_overhead(self) -> None:
+        self.windows_evaluated += 1
+        if self.overhead is not None:
+            self.overhead.on_window_evaluation()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"{self.policy}: windows={self.windows_evaluated} "
+            f"transitions={self.transitions}"
+        )

@@ -1,0 +1,136 @@
+"""The voltage/frequency ladder and threshold scaling (Figure 5).
+
+Operating points span 400-600 MHz in 50 MHz steps with voltage tracking
+frequency linearly from 1.1 V to 1.3 V, as in Intel XScale.  TDVS's
+traffic thresholds scale proportionally to frequency: at the 1000 Mbps
+top threshold the ladder is exactly the paper's Figure 5 row
+(1000, 916, 833, 750, 666 Mbps).
+
+Level indices count down from the top: level 0 is the fastest point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import NpuConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VfPoint:
+    """One operating point of the ladder."""
+
+    freq_hz: float
+    vdd: float
+
+    @property
+    def freq_mhz(self) -> float:
+        """Frequency in MHz (for tables and reports)."""
+        return self.freq_hz / 1e6
+
+
+class VfTable:
+    """The ladder of VF points plus threshold scaling.
+
+    Parameters
+    ----------
+    freq_max_hz / freq_min_hz / step_hz:
+        Frequency range and step (must divide evenly).
+    vdd_max / vdd_min:
+        Voltages at the range endpoints; intermediate points interpolate
+        linearly (XScale-style).
+    """
+
+    def __init__(
+        self,
+        freq_max_hz: float,
+        freq_min_hz: float,
+        step_hz: float,
+        vdd_max: float,
+        vdd_min: float,
+    ):
+        if freq_min_hz > freq_max_hz or step_hz <= 0:
+            raise ConfigError("invalid VF ladder bounds")
+        span = freq_max_hz - freq_min_hz
+        count = int(round(span / step_hz))
+        if abs(count * step_hz - span) > 1e-3:
+            raise ConfigError("step_hz must evenly divide the frequency range")
+        self.points: List[VfPoint] = []
+        for k in range(count + 1):
+            freq = freq_max_hz - k * step_hz
+            if span > 0:
+                vdd = vdd_min + (freq - freq_min_hz) / span * (vdd_max - vdd_min)
+            else:
+                vdd = vdd_max
+            self.points.append(VfPoint(freq, round(vdd, 6)))
+
+    @classmethod
+    def from_config(cls, npu: NpuConfig) -> "VfTable":
+        """Build the ladder from an :class:`~repro.config.NpuConfig`."""
+        return cls(
+            npu.me_freq_max_hz,
+            npu.me_freq_min_hz,
+            npu.me_freq_step_hz,
+            npu.me_vdd_max,
+            npu.me_vdd_min,
+        )
+
+    # ------------------------------------------------------------------
+    # Ladder navigation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, level: int) -> VfPoint:
+        return self.points[level]
+
+    @property
+    def top(self) -> VfPoint:
+        """The fastest operating point (level 0)."""
+        return self.points[0]
+
+    @property
+    def bottom(self) -> VfPoint:
+        """The slowest operating point."""
+        return self.points[-1]
+
+    def clamp(self, level: int) -> int:
+        """Clamp a level index into the ladder."""
+        return max(0, min(len(self.points) - 1, level))
+
+    def step_down(self, level: int) -> int:
+        """One step slower (until the lower bound is hit)."""
+        return self.clamp(level + 1)
+
+    def step_up(self, level: int) -> int:
+        """One step faster (until the upper bound is hit)."""
+        return self.clamp(level - 1)
+
+    # ------------------------------------------------------------------
+    # TDVS threshold scaling (Figure 5)
+    # ------------------------------------------------------------------
+    def traffic_threshold_mbps(self, level: int, top_threshold_mbps: float) -> float:
+        """Threshold at ``level``, scaled by frequency ratio to the top."""
+        if top_threshold_mbps <= 0:
+            raise ConfigError("top threshold must be positive")
+        point = self.points[level]
+        return top_threshold_mbps * point.freq_hz / self.top.freq_hz
+
+    def scaling_table(
+        self, top_threshold_mbps: float
+    ) -> List[Tuple[float, float, float]]:
+        """Rows of (freq_MHz, Vdd, threshold_Mbps) — the Figure 5 table."""
+        return [
+            (
+                point.freq_mhz,
+                point.vdd,
+                self.traffic_threshold_mbps(level, top_threshold_mbps),
+            )
+            for level, point in enumerate(self.points)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{p.freq_mhz:.0f}MHz/{p.vdd}V" for p in self.points)
+        return f"<VfTable {body}>"

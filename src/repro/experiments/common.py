@@ -1,0 +1,145 @@
+"""Shared experiment machinery: profiles, instrumented runs, caching.
+
+The TDVS design-space experiments (Figures 6-9) share one 17-run grid;
+:func:`tdvs_design_space` computes it once per profile and caches it so
+``fig06``/``fig07``/``fig08``/``fig09`` stay cheap to run back to back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import DvsConfig, RunConfig, TrafficConfig
+from repro.errors import ExperimentError
+from repro.loc.analyzer import DistributionAnalyzer, DistributionResult
+from repro.loc.builtin import (
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+from repro.runner import RunResult, run_simulation
+
+#: Run lengths (reference-clock cycles) per profile.  ``paper`` is the
+#: paper's 8x10^6; ``quick`` keeps several 80k windows while staying
+#: laptop-fast; ``bench`` is for pytest-benchmark smoke timing.
+PROFILE_CYCLES: Dict[str, int] = {
+    "bench": 400_000,
+    "quick": 1_600_000,
+    "paper": 8_000_000,
+}
+
+#: Offered loads (Mbps) for the named traffic levels.  ``high`` is the
+#: near-saturation sample the TDVS/EDVS sweeps use (the paper's
+#: distribution axes reach 1400 Mbps); ``med``/``low`` match the
+#: medium/low samples of Figure 11.
+LEVEL_LOADS_MBPS: Dict[str, float] = {"low": 400.0, "med": 1000.0, "high": 1550.0}
+
+#: The paper's TDVS sweep axes.
+TDVS_THRESHOLDS_MBPS = (800.0, 1000.0, 1200.0, 1400.0)
+TDVS_WINDOWS_CYCLES = (20_000, 40_000, 60_000, 80_000)
+
+#: EDVS sweep axis (Figure 10) and idle threshold.
+EDVS_WINDOWS_CYCLES = (20_000, 40_000, 60_000, 80_000)
+EDVS_IDLE_THRESHOLD = 0.10
+
+#: Default seed for experiment runs (reproducibility anchor).
+EXPERIMENT_SEED = 7
+
+#: Analysis window: formulas (2)/(3) span 100 packets in the paper; the
+#: quick/bench profiles forward fewer packets, so they use a smaller span
+#: to keep enough formula instances for stable distributions.
+SPAN_BY_PROFILE: Dict[str, int] = {"bench": 20, "quick": 50, "paper": 100}
+
+
+def cycles_for(profile: str) -> int:
+    """Run length for a named profile."""
+    try:
+        return PROFILE_CYCLES[profile]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown profile {profile!r}; known: {sorted(PROFILE_CYCLES)}"
+        ) from None
+
+
+def span_for(profile: str) -> int:
+    """LOC formula packet span for a named profile."""
+    return SPAN_BY_PROFILE.get(profile, 100)
+
+
+@dataclass
+class InstrumentedRun:
+    """One simulation plus its power/throughput distributions."""
+
+    result: RunResult
+    power: DistributionResult
+    throughput: DistributionResult
+
+
+def instrumented_run(
+    profile: str,
+    benchmark: str = "ipfwdr",
+    load_mbps: Optional[float] = None,
+    level: Optional[str] = None,
+    dvs: Optional[DvsConfig] = None,
+    seed: int = EXPERIMENT_SEED,
+    process: str = "mmpp",
+) -> InstrumentedRun:
+    """Run one configuration with formula (2)/(3) analyzers attached."""
+    if (load_mbps is None) == (level is None):
+        raise ExperimentError("give exactly one of load_mbps / level")
+    if level is not None:
+        load_mbps = LEVEL_LOADS_MBPS[level]
+    span = span_for(profile)
+    power_analyzer = DistributionAnalyzer(power_distribution_formula(span=span))
+    throughput_analyzer = DistributionAnalyzer(
+        throughput_distribution_formula(span=span)
+    )
+    config = RunConfig(
+        benchmark=benchmark,
+        duration_cycles=cycles_for(profile),
+        seed=seed,
+        traffic=TrafficConfig(offered_load_mbps=load_mbps, process=process),
+        dvs=dvs or DvsConfig(policy="none"),
+    )
+    result = run_simulation(config, sinks=[power_analyzer, throughput_analyzer])
+    return InstrumentedRun(
+        result=result,
+        power=power_analyzer.finish(),
+        throughput=throughput_analyzer.finish(),
+    )
+
+
+#: Cache: profile -> {(threshold|None, window|None): InstrumentedRun}.
+#: The (None, None) key is the no-DVS baseline.
+_TDVS_CACHE: Dict[str, Dict[Tuple[Optional[float], Optional[int]], InstrumentedRun]] = {}
+
+
+def tdvs_design_space(
+    profile: str,
+) -> Dict[Tuple[Optional[float], Optional[int]], InstrumentedRun]:
+    """The shared Figures 6-9 grid: 4 thresholds x 4 windows + noDVS.
+
+    Benchmark `ipfwdr` at the high traffic sample, as in Section 4.1.
+    """
+    cached = _TDVS_CACHE.get(profile)
+    if cached is not None:
+        return cached
+    grid: Dict[Tuple[Optional[float], Optional[int]], InstrumentedRun] = {}
+    grid[(None, None)] = instrumented_run(profile, level="high")
+    for threshold in TDVS_THRESHOLDS_MBPS:
+        for window in TDVS_WINDOWS_CYCLES:
+            dvs = DvsConfig(
+                policy="tdvs",
+                window_cycles=window,
+                top_threshold_mbps=threshold,
+            )
+            grid[(threshold, window)] = instrumented_run(
+                profile, level="high", dvs=dvs
+            )
+    _TDVS_CACHE[profile] = grid
+    return grid
+
+
+def clear_caches() -> None:
+    """Drop cached design-space grids (tests use this)."""
+    _TDVS_CACHE.clear()

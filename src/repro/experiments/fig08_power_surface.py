@@ -1,0 +1,66 @@
+"""Figure 8: 3-D surface — 80th-percentile power over the design space.
+
+A vertex is the power value below which 80 % of formula (2) instances
+fall for a (threshold, window) pair.  The paper reads off: the 1000 Mbps
+threshold keeps the highest power; the power-first pick is the 1400 Mbps
+threshold with a 40k window.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_surface
+from repro.analysis.surface import PercentileSurface
+from repro.experiments.common import (
+    TDVS_THRESHOLDS_MBPS,
+    TDVS_WINDOWS_CYCLES,
+    tdvs_design_space,
+)
+from repro.experiments.registry import ExperimentResult, register
+
+#: The curve level the paper's surfaces read off.
+SURFACE_LEVEL = 0.8
+
+
+def build_power_surface(profile: str) -> PercentileSurface:
+    """The Figure 8 surface from the shared design-space grid."""
+    grid = tdvs_design_space(profile)
+    surface = PercentileSurface(
+        TDVS_THRESHOLDS_MBPS,
+        TDVS_WINDOWS_CYCLES,
+        level=SURFACE_LEVEL,
+        row_label="threshold (Mbps)",
+        col_label="window (cycles)",
+        value_label="power (W)",
+    )
+    for threshold in TDVS_THRESHOLDS_MBPS:
+        for window in TDVS_WINDOWS_CYCLES:
+            surface.add(threshold, window, grid[(threshold, window)].power)
+    return surface
+
+
+@register("fig08", "80th-percentile power surface", "Figure 8")
+def run(profile: str) -> ExperimentResult:
+    """Render the power surface and its optima."""
+    surface = build_power_surface(profile)
+    text = format_surface(
+        surface.row_values,
+        surface.col_values,
+        surface.grid(),
+        row_label="thr Mbps",
+        col_label="window",
+        title="Figure 8: power (W) at the 80% CDF level",
+    )
+    low_thr, low_win, low_val = surface.argmin()
+    text += (
+        f"\n\nlowest-power design point: threshold {low_thr:.0f} Mbps, "
+        f"window {low_win} cycles ({low_val:.3f} W)"
+    )
+    return ExperimentResult(
+        "fig08",
+        text,
+        data={
+            "grid": surface.grid(),
+            "argmin": (low_thr, low_win, low_val),
+            "argmax": surface.argmax(),
+        },
+    )

@@ -1,0 +1,72 @@
+"""Figure 11: noDVS / EDVS / TDVS power comparison.
+
+All four benchmarks at the low/medium/high traffic samples, each policy
+at its optimal configuration from the Section 4.1/4.2 analyses (TDVS:
+1400 Mbps top threshold, 40k window — the power-first pick; EDVS: 10 %
+idle threshold, 40k window).  Expected qualitative outcomes:
+
+* TDVS saves more power than EDVS overall;
+* TDVS savings shrink as traffic volume rises, EDVS stays steady;
+* `nat` sees ~no EDVS savings (no memory accesses to idle on);
+* memory-intensive benchmarks benefit most from EDVS;
+* EDVS throughput loss ~none, TDVS within a few percent.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import PolicyComparison, PolicyOutcome
+from repro.config import DvsConfig
+from repro.experiments.common import instrumented_run
+from repro.experiments.registry import ExperimentResult, register
+
+BENCHMARKS = ("ipfwdr", "url", "nat", "md4")
+LEVELS = ("low", "med", "high")
+
+#: Optimal configurations carried over from the design-space analyses.
+TDVS_OPTIMAL = DvsConfig(policy="tdvs", window_cycles=40_000, top_threshold_mbps=1400.0)
+EDVS_OPTIMAL = DvsConfig(policy="edvs", window_cycles=40_000, idle_threshold=0.10)
+
+
+def build_comparison(profile: str) -> PolicyComparison:
+    """Run the full 4 x 3 x 3 grid and collect outcomes."""
+    comparison = PolicyComparison(BENCHMARKS, LEVELS)
+    for benchmark in BENCHMARKS:
+        for level in LEVELS:
+            for policy, dvs in (
+                ("none", None),
+                ("edvs", EDVS_OPTIMAL),
+                ("tdvs", TDVS_OPTIMAL),
+            ):
+                run_data = instrumented_run(
+                    profile, benchmark=benchmark, level=level, dvs=dvs
+                )
+                comparison.add(
+                    benchmark,
+                    level,
+                    PolicyOutcome(
+                        policy=policy,
+                        mean_power_w=run_data.result.mean_power_w,
+                        throughput_mbps=run_data.result.throughput_mbps,
+                        loss_fraction=run_data.result.totals.loss_fraction,
+                        power_distribution=run_data.power,
+                    ),
+                )
+    return comparison
+
+
+@register("fig11", "Policy comparison across benchmarks/traffic", "Figure 11")
+def run(profile: str) -> ExperimentResult:
+    """Run the comparison grid and render the panel."""
+    comparison = build_comparison(profile)
+    text = comparison.render(
+        title="Figure 11: power comparison, optimal configs (vs. noDVS)"
+    )
+    data = {
+        "tdvs_savings": {
+            b: comparison.tdvs_savings_by_level(b) for b in BENCHMARKS
+        },
+        "edvs_savings": {
+            b: comparison.edvs_savings_by_level(b) for b in BENCHMARKS
+        },
+    }
+    return ExperimentResult("fig11", text, data=data)

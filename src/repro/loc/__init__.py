@@ -1,0 +1,72 @@
+"""Logic of Constraints (LOC) assertions over simulation traces.
+
+This subpackage implements the paper's assertion-based analysis
+methodology end to end:
+
+* a lexer/parser for LOC formulas (:mod:`~repro.loc.parser`), covering
+  both **checker** formulas (``cycle(deq[i]) - cycle(enq[i]) <= 50``)
+  and **distribution** formulas with the paper's three extended
+  operators, spelled ``in`` / ``below`` / ``above`` here::
+
+      (energy(forward[i+100]) - energy(forward[i])) /
+      (time(forward[i+100]) - time(forward[i]))  below <0.5, 2.25, 0.01>
+
+  ``in``     bins values into ``(-inf, min], (min, min+step], ... (max, +inf)``;
+  ``below``  reports, for each cutoff, the fraction of instances **<=** it
+             (the CDF view used for the paper's power plots);
+  ``above``  reports the fraction of instances **>=** each cutoff
+             (the CCDF view used for the throughput plots).
+
+* a streaming **checker** reporting assertion violations with bounded
+  memory (:mod:`~repro.loc.checker`);
+* a streaming **distribution analyzer** (:mod:`~repro.loc.analyzer`);
+* a **code generator** that emits a standalone, dependency-free Python
+  analyzer for a formula (:mod:`~repro.loc.codegen`) — the paper's
+  "automatically generated, simulation-language-independent" tooling;
+* the paper's formulas (1)-(3) as ready-made builders
+  (:mod:`~repro.loc.builtin`).
+"""
+
+from repro.loc.analyzer import DistributionAnalyzer, DistributionResult
+from repro.loc.ast_nodes import (
+    AnnotationRef,
+    BinaryOp,
+    CheckerFormula,
+    DistributionFormula,
+    IndexExpr,
+    Negate,
+    Number,
+)
+from repro.loc.builtin import (
+    forwarding_latency_formula,
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+from repro.loc.checker import CheckResult, Violation, build_checker
+from repro.loc.codegen import generate_analyzer_source
+from repro.loc.evaluator import StreamingEvaluator
+from repro.loc.lexer import Token, tokenize
+from repro.loc.parser import parse_formula
+
+__all__ = [
+    "AnnotationRef",
+    "BinaryOp",
+    "CheckResult",
+    "CheckerFormula",
+    "DistributionAnalyzer",
+    "DistributionFormula",
+    "DistributionResult",
+    "IndexExpr",
+    "Negate",
+    "Number",
+    "StreamingEvaluator",
+    "Token",
+    "Violation",
+    "build_checker",
+    "forwarding_latency_formula",
+    "generate_analyzer_source",
+    "parse_formula",
+    "power_distribution_formula",
+    "throughput_distribution_formula",
+    "tokenize",
+]

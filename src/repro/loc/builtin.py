@@ -1,0 +1,93 @@
+"""The paper's LOC formulas, as ready-made builders.
+
+Formula numbers refer to the paper:
+
+(1) forwarding-latency distribution::
+
+        time(forward[i+100]) - time(forward[i])  in <40, 80, 5>
+
+(2) power distribution (average watts per 100 forwarded packets)::
+
+        (energy(forward[i+100]) - energy(forward[i])) /
+        (time(forward[i+100]) - time(forward[i]))  below <0.5, 2.25, 0.01>
+
+    ``energy`` is cumulative microjoules and ``time`` cumulative
+    microseconds, so the quotient is directly in watts.
+
+(3) throughput distribution (average Mbps per 100 forwarded packets)::
+
+        ((total_bit(forward[i+100]) - total_bit(forward[i])) / 1e6) /
+        ((time(forward[i+100]) - time(forward[i])) / 1e6 / 1e6 ... )
+
+    With ``time`` in microseconds, ``bits / time(us)`` equals Mbps
+    exactly, so the formula reduces to the quotient below.
+
+All three default to the paper's window of 100 packets and analysis
+triples, and every parameter can be overridden for sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.loc.ast_nodes import DistributionFormula
+from repro.loc.parser import parse_formula
+
+
+def forwarding_latency_formula(
+    span: int = 100,
+    low: float = 40.0,
+    high: float = 80.0,
+    step: float = 5.0,
+    mode: str = "in",
+) -> DistributionFormula:
+    """Formula (1): time between forward[i] and forward[i+span], in us."""
+    text = (
+        f"time(forward[i+{span}]) - time(forward[i]) "
+        f"{mode} <{low:g}, {high:g}, {step:g}>"
+    )
+    formula = parse_formula(text)
+    assert isinstance(formula, DistributionFormula)
+    return formula
+
+
+def power_distribution_formula(
+    span: int = 100,
+    low: float = 0.5,
+    high: float = 2.25,
+    step: float = 0.01,
+    mode: str = "below",
+) -> DistributionFormula:
+    """Formula (2): average power (W) over each ``span`` forwarded packets.
+
+    ``energy`` is in microjoules and ``time`` in microseconds, so
+    ``delta_energy / delta_time`` is watts directly.
+    """
+    text = (
+        f"(energy(forward[i+{span}]) - energy(forward[i])) / "
+        f"(time(forward[i+{span}]) - time(forward[i])) "
+        f"{mode} <{low:g}, {high:g}, {step:g}>"
+    )
+    formula = parse_formula(text)
+    assert isinstance(formula, DistributionFormula)
+    return formula
+
+
+def throughput_distribution_formula(
+    span: int = 100,
+    low: float = 100.0,
+    high: float = 3300.0,
+    step: float = 10.0,
+    mode: str = "above",
+) -> DistributionFormula:
+    """Formula (3): average forwarding rate (Mbps) per ``span`` packets.
+
+    ``total_bit`` is bits and ``time`` microseconds; ``bits / us`` is
+    Mbps, so no additional scale factor is needed.
+    """
+    text = (
+        f"(total_bit(forward[i+{span}]) - total_bit(forward[i])) / "
+        f"(time(forward[i+{span}]) - time(forward[i])) "
+        f"{mode} <{low:g}, {high:g}, {step:g}>"
+    )
+    formula = parse_formula(text)
+    assert isinstance(formula, DistributionFormula)
+    return formula

@@ -1,0 +1,134 @@
+"""Assertion checkers: report every violating instance of a formula.
+
+This mirrors the paper's original (pre-distribution) use of LOC: a
+checker formula such as ``cycle(deq[i]) - cycle(enq[i]) <= 50`` is turned
+into a streaming monitor that evaluates every instance and records the
+ones where the relation fails.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.errors import LocError
+from repro.loc.ast_nodes import CheckerFormula
+from repro.loc.evaluator import StreamingEvaluator
+from repro.loc.parser import parse_formula
+from repro.trace.events import TraceEvent
+
+_OPS: dict = {
+    "<=": operator.le,
+    "<": operator.lt,
+    ">=": operator.ge,
+    ">": operator.gt,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass
+class Violation:
+    """One failing formula instance."""
+
+    instance: int
+    lhs: float
+    rhs: float
+
+    def describe(self, op: str) -> str:
+        """Human-readable one-liner for reports."""
+        return f"instance {self.instance}: {self.lhs:g} {op} {self.rhs:g} is false"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking a formula over a trace."""
+
+    formula_text: str
+    op: str
+    instances_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    violations_total: int = 0
+    undefined_instances: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """True when no instance violated the assertion."""
+        return self.violations_total == 0
+
+    def report(self) -> str:
+        """Multi-line textual report, paper-checker style."""
+        lines = [
+            f"LOC check: {self.formula_text}",
+            f"  instances checked : {self.instances_checked}",
+            f"  violations        : {self.violations_total}",
+        ]
+        if self.undefined_instances:
+            lines.append(f"  undefined (div/0) : {self.undefined_instances}")
+        for violation in self.violations:
+            lines.append("  " + violation.describe(self.op))
+        if self.violations_total > len(self.violations):
+            hidden = self.violations_total - len(self.violations)
+            lines.append(f"  ... {hidden} further violations not shown")
+        lines.append("  RESULT: " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+class Checker:
+    """Streaming checker; also usable directly as a trace sink."""
+
+    def __init__(self, formula: CheckerFormula, max_recorded_violations: int = 100):
+        self.formula = formula
+        self.max_recorded_violations = max_recorded_violations
+        self._compare: Callable[[float, float], bool] = _OPS[formula.op]
+        self.result = CheckResult(formula_text=formula.unparse(), op=formula.op)
+        self._evaluator = StreamingEvaluator(formula)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Trace-sink interface."""
+        for instance, (lhs, rhs) in self._evaluator.feed(event):
+            self._judge(instance, lhs, rhs)
+
+    def _judge(self, instance: int, lhs: float, rhs: float) -> None:
+        if math.isnan(lhs) or math.isnan(rhs):
+            self.result.undefined_instances += 1
+            return
+        self.result.instances_checked += 1
+        if not self._compare(lhs, rhs):
+            self.result.violations_total += 1
+            if len(self.result.violations) < self.max_recorded_violations:
+                self.result.violations.append(Violation(instance, lhs, rhs))
+
+    def finish(self) -> CheckResult:
+        """Return the accumulated result (the stream may keep going)."""
+        return self.result
+
+
+def build_checker(
+    formula: Union[str, CheckerFormula], max_recorded_violations: int = 100
+) -> Checker:
+    """Build a streaming checker from formula text or a parsed AST."""
+    if isinstance(formula, str):
+        parsed = parse_formula(formula)
+    else:
+        parsed = formula
+    if not isinstance(parsed, CheckerFormula):
+        raise LocError(
+            "expected a checker formula (relational operator); got a "
+            "distribution formula — use DistributionAnalyzer for those"
+        )
+    return Checker(parsed, max_recorded_violations=max_recorded_violations)
+
+
+def check_trace(
+    formula: Union[str, CheckerFormula],
+    events: Iterable[TraceEvent],
+    max_recorded_violations: int = 100,
+) -> CheckResult:
+    """Check ``formula`` over an event iterable and return the result."""
+    checker = build_checker(formula, max_recorded_violations)
+    for event in events:
+        checker.emit(event)
+    return checker.finish()

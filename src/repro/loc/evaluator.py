@@ -1,0 +1,224 @@
+"""Streaming evaluation of LOC formula instances over a trace.
+
+LOC semantics: a formula holds for every value of the index variable
+``i`` = 0, 1, 2, ...; instance ``i`` of the formula mentions annotation
+values of specific *instances* of each referenced event (the ``i+k``-th
+occurrence of that event in the trace).  The evaluator consumes events one
+at a time and yields ``(i, values)`` as soon as every reference of
+instance ``i`` is available, holding only a sliding window of each event
+series in memory.
+
+Instances that reference negative event indices (possible when a formula
+uses ``i-k``) are skipped, matching the convention that such instances are
+vacuous.  Instances whose evaluation divides by zero are reported as
+*undefined* and counted separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import LocEvaluationError
+from repro.loc.ast_nodes import (
+    AnnotationRef,
+    BinaryOp,
+    Expr,
+    Formula,
+    Negate,
+    Number,
+)
+from repro.trace.events import TraceEvent
+
+#: Sentinel yielded for instances whose expression divides by zero.
+UNDEFINED = float("nan")
+
+
+class _EventSeries:
+    """Sliding window of annotation tuples for one event name."""
+
+    __slots__ = ("annotations", "base", "values", "count", "pinned")
+
+    def __init__(self, annotations: Tuple[str, ...]):
+        self.annotations = annotations
+        self.base = 0  # instance number of values[0]
+        self.values: Deque[Tuple[float, ...]] = deque()
+        self.count = 0  # total instances seen
+        self.pinned: Dict[int, Tuple[float, ...]] = {}  # absolute refs
+
+    def append(self, event: TraceEvent, pin_indices: frozenset) -> None:
+        row = tuple(event.annotation(name) for name in self.annotations)
+        if self.count in pin_indices:
+            self.pinned[self.count] = row
+        self.values.append(row)
+        self.count += 1
+
+    def get(self, instance: int, slot: int) -> float:
+        pinned = self.pinned.get(instance)
+        if pinned is not None:
+            return pinned[slot]
+        offset = instance - self.base
+        if offset < 0:
+            raise LocEvaluationError(
+                f"instance {instance} already evicted (window base {self.base})"
+            )
+        return self.values[offset][slot]
+
+    def evict_below(self, instance: int) -> None:
+        """Drop window entries for instances below ``instance``."""
+        while self.base < instance and self.values:
+            self.values.popleft()
+            self.base += 1
+
+
+class StreamingEvaluator:
+    """Evaluates all instances of a formula as trace events stream in.
+
+    Parameters
+    ----------
+    formula:
+        A parsed LOC formula (checker or distribution).  Every top-level
+        expression is evaluated per instance; checker formulas yield a
+        tuple ``(lhs_value, rhs_value)``, distribution formulas a 1-tuple.
+
+    Usage
+    -----
+    Call :meth:`feed` with each event (in trace order); it returns an
+    iterator of newly completed ``(i, values)`` pairs.  This object is
+    also a trace *sink* (``emit``) that hands completed instances to an
+    optional callback, so it can be plugged directly into the chip's
+    trace fan-out.
+    """
+
+    def __init__(self, formula: Formula, on_instance=None):
+        self.formula = formula
+        self.on_instance = on_instance
+        self.exprs: List[Expr] = formula.exprs()
+        self.next_instance = 0
+        self.instances_evaluated = 0
+        self.undefined_instances = 0
+
+        refs = formula.refs()
+        # One series per referenced event, tracking exactly the
+        # annotations the formula needs (in first-seen order).
+        self._series: Dict[str, _EventSeries] = {}
+        needed: Dict[str, List[str]] = {}
+        pins: Dict[str, set] = {}
+        for ref in refs:
+            annotation_list = needed.setdefault(ref.event, [])
+            if ref.annotation not in annotation_list:
+                annotation_list.append(ref.annotation)
+            if ref.index.absolute:
+                pins.setdefault(ref.event, set()).add(ref.index.offset)
+        for event_name, annotation_list in needed.items():
+            self._series[event_name] = _EventSeries(tuple(annotation_list))
+        self._pins = {name: frozenset(pins.get(name, ())) for name in needed}
+
+        # Per-event relative-offset envelope, for readiness + eviction.
+        self._rel_offsets: Dict[str, List[int]] = {}
+        for ref in refs:
+            if not ref.index.absolute:
+                self._rel_offsets.setdefault(ref.event, []).append(ref.index.offset)
+        self._slot_of: Dict[Tuple[str, str], int] = {
+            (name, annotation): series.annotations.index(annotation)
+            for name, series in self._series.items()
+            for annotation in series.annotations
+        }
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> Iterator[Tuple[int, Tuple[float, ...]]]:
+        """Consume one event; yield instances that became evaluable."""
+        series = self._series.get(event.name)
+        if series is None:
+            return iter(())
+        series.append(event, self._pins[event.name])
+        return self._drain()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Trace-sink interface: feed and forward to ``on_instance``."""
+        for instance, values in self.feed(event):
+            if self.on_instance is not None:
+                self.on_instance(instance, values)
+
+    def _drain(self) -> Iterator[Tuple[int, Tuple[float, ...]]]:
+        while self._ready(self.next_instance):
+            i = self.next_instance
+            self.next_instance += 1
+            if self._vacuous(i):
+                continue
+            values = self._evaluate(i)
+            self.instances_evaluated += 1
+            self._evict(i + 1)
+            yield i, values
+
+    def _ready(self, i: int) -> bool:
+        for name, offsets in self._rel_offsets.items():
+            series = self._series[name]
+            needed_max = i + max(offsets)
+            if needed_max >= series.count:
+                return False
+        for name, pins in self._pins.items():
+            series = self._series[name]
+            for pin in pins:
+                if pin >= series.count:
+                    return False
+        return True
+
+    def _vacuous(self, i: int) -> bool:
+        for offsets in self._rel_offsets.values():
+            if i + min(offsets) < 0:
+                return True
+        return False
+
+    def _evict(self, next_i: int) -> None:
+        for name, offsets in self._rel_offsets.items():
+            self._series[name].evict_below(next_i + min(offsets))
+
+    # ------------------------------------------------------------------
+    # Expression interpretation
+    # ------------------------------------------------------------------
+    def _evaluate(self, i: int) -> Tuple[float, ...]:
+        values = []
+        for expr in self.exprs:
+            try:
+                values.append(self._eval_expr(expr, i))
+            except ZeroDivisionError:
+                self.undefined_instances += 1
+                values.append(UNDEFINED)
+        return tuple(values)
+
+    def _eval_expr(self, expr: Expr, i: int) -> float:
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, AnnotationRef):
+            series = self._series[expr.event]
+            slot = self._slot_of[(expr.event, expr.annotation)]
+            return series.get(expr.index.resolve(i), slot)
+        if isinstance(expr, BinaryOp):
+            left = self._eval_expr(expr.left, i)
+            right = self._eval_expr(expr.right, i)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            return left / right  # ZeroDivisionError handled by caller
+        if isinstance(expr, Negate):
+            return -self._eval_expr(expr.operand, i)
+        raise LocEvaluationError(f"unknown expression node {type(expr).__name__}")
+
+
+def evaluate_over(formula: Formula, events) -> List[Tuple[int, Tuple[float, ...]]]:
+    """Evaluate all instances of ``formula`` over an event iterable.
+
+    Convenience wrapper for tests and offline analysis; holds only the
+    evaluator's sliding window in memory, but materializes the results.
+    """
+    evaluator = StreamingEvaluator(formula)
+    out: List[Tuple[int, Tuple[float, ...]]] = []
+    for event in events:
+        out.extend(evaluator.feed(event))
+    return out

@@ -1,0 +1,160 @@
+"""Tokenizer for LOC formula text.
+
+The token set is small: numbers, identifiers, the index variable ``i``
+(just an identifier until parsing), arithmetic operators, relational
+operators, brackets, and the distribution keywords ``in`` / ``below`` /
+``above``.  Unicode minus and the angle quotation marks that appear in the
+paper's typeset formulas are normalized so formulas can be pasted almost
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import LocSyntaxError
+
+#: Token kinds produced by :func:`tokenize`.
+KINDS = (
+    "NUMBER",
+    "IDENT",
+    "PLUS",
+    "MINUS",
+    "STAR",
+    "SLASH",
+    "LPAREN",
+    "RPAREN",
+    "LBRACKET",
+    "RBRACKET",
+    "LANGLE",
+    "RANGLE",
+    "COMMA",
+    "LE",
+    "GE",
+    "LT",
+    "GT",
+    "EQ",
+    "NE",
+    "KW_IN",
+    "KW_BELOW",
+    "KW_ABOVE",
+    "EOF",
+)
+
+#: Distribution-operator keywords (case-insensitive).
+KEYWORDS = {"in": "KW_IN", "below": "KW_BELOW", "above": "KW_ABOVE"}
+
+#: Normalizations applied before scanning (typeset-paper conveniences).
+_NORMALIZE = {
+    "−": "-",  # unicode minus
+    "≤": "<=",
+    "≥": ">=",
+    "≠": "!=",
+    "〈": "<",  # left angle bracket
+    "〉": ">",
+    "⟨": "<",  # mathematical left angle bracket
+    "⟩": ">",
+}
+
+
+class Token(NamedTuple):
+    """One lexical token: ``kind``, source ``text`` and char ``position``."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def _normalize(text: str) -> str:
+    for needle, replacement in _NORMALIZE.items():
+        if needle in text:
+            text = text.replace(needle, replacement)
+    return text
+
+
+def _scan(text: str) -> Iterator[Token]:
+    length = len(text)
+    pos = 0
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length and text[pos + 1].isdigit()):
+            start = pos
+            seen_dot = False
+            seen_exp = False
+            while pos < length:
+                c = text[pos]
+                if c.isdigit():
+                    pos += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    pos += 1
+                elif c in "eE" and not seen_exp and pos > start:
+                    # Exponent must be followed by digits or a sign+digits.
+                    nxt = pos + 1
+                    if nxt < length and text[nxt] in "+-":
+                        nxt += 1
+                    if nxt < length and text[nxt].isdigit():
+                        seen_exp = True
+                        pos = nxt
+                    else:
+                        break
+                else:
+                    break
+            yield Token("NUMBER", text[start:pos], start)
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            kind = KEYWORDS.get(word.lower(), "IDENT")
+            yield Token(kind, word, start)
+            continue
+        two = text[pos : pos + 2]
+        if two == "<=":
+            yield Token("LE", two, pos)
+            pos += 2
+            continue
+        if two == ">=":
+            yield Token("GE", two, pos)
+            pos += 2
+            continue
+        if two == "==":
+            yield Token("EQ", two, pos)
+            pos += 2
+            continue
+        if two == "!=":
+            yield Token("NE", two, pos)
+            pos += 2
+            continue
+        single = {
+            "+": "PLUS",
+            "-": "MINUS",
+            "*": "STAR",
+            "/": "SLASH",
+            "(": "LPAREN",
+            ")": "RPAREN",
+            "[": "LBRACKET",
+            "]": "RBRACKET",
+            ",": "COMMA",
+            "<": "LT",
+            ">": "GT",
+            "=": "EQ",  # tolerate single '=' as equality
+        }.get(char)
+        if single is None:
+            raise LocSyntaxError(f"unexpected character {char!r}", position=pos)
+        yield Token(single, char, pos)
+        pos += 1
+    yield Token("EOF", "", length)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize LOC formula text into a list ending with an EOF token.
+
+    >>> [t.kind for t in tokenize("cycle(deq[i]) <= 50")]
+    ['IDENT', 'LPAREN', 'IDENT', 'LBRACKET', 'IDENT', 'RBRACKET', 'RPAREN', 'LE', 'NUMBER', 'EOF']
+    """
+    return list(_scan(_normalize(text)))

@@ -1,0 +1,61 @@
+"""Semantic validation of parsed LOC formulas.
+
+The parser accepts any identifiers; this module checks a formula against
+the trace schema actually being analyzed:
+
+* annotation names must be known (by default the paper's five);
+* event names must be well-formed (base type, optional ``m<k>`` prefix) —
+  unless the caller passes an explicit event universe, in which case names
+  only need to be in it (LOC itself allows arbitrary event alphabets, e.g.
+  the ``enq``/``deq`` example of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import LocSemanticError, TraceError
+from repro.loc.ast_nodes import Formula
+from repro.trace.annotations import ANNOTATION_NAMES
+from repro.trace.events import parse_event_name
+
+
+def validate_formula(
+    formula: Formula,
+    annotations: Iterable[str] = ANNOTATION_NAMES,
+    events: Optional[Iterable[str]] = None,
+) -> None:
+    """Raise :class:`LocSemanticError` if the formula cannot be evaluated.
+
+    Parameters
+    ----------
+    formula:
+        A parsed checker or distribution formula.
+    annotations:
+        Annotation names the trace provides.
+    events:
+        If given, the exact set of event names allowed; otherwise names
+        must follow the NPU trace convention (``forward``, ``fifo``,
+        ``pipeline`` with optional ``m<k>_`` prefix).
+    """
+    known_annotations = frozenset(annotations)
+    event_universe = frozenset(events) if events is not None else None
+    refs = formula.refs()
+    if not refs:
+        raise LocSemanticError("formula references no trace events")
+    for ref in refs:
+        if ref.annotation not in known_annotations:
+            raise LocSemanticError(
+                f"unknown annotation {ref.annotation!r}; "
+                f"known: {sorted(known_annotations)}"
+            )
+        if event_universe is not None:
+            if ref.event not in event_universe:
+                raise LocSemanticError(
+                    f"unknown event {ref.event!r}; known: {sorted(event_universe)}"
+                )
+        else:
+            try:
+                parse_event_name(ref.event)
+            except TraceError as exc:
+                raise LocSemanticError(str(exc)) from exc

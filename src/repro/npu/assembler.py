@@ -1,0 +1,189 @@
+"""Two-pass assembler for the mini microengine ISA.
+
+Source dialect::
+
+    ; comments run to end of line (# also accepted)
+    .name rx_forward          ; program name (optional)
+    .equ TABLE_BASE, 0x1000   ; named constant
+
+    start:
+        li      r1, TABLE_BASE
+        alui    add r2, r1, 4
+        mem_rd  sram r3, r2, 4       ; r3 <- sram[r2], 4 bytes
+        bcond   eq r3, zero, miss
+        set_out_port r3
+        puttx
+        done
+    miss:
+        drop    1
+
+Mnemonic conveniences: ``add/sub/and/or/xor/shl/shr/mul/min/max`` expand
+to ``alu``/``alui`` (immediate last operand selects ``alui``);
+``beq/bne/blt/bge/bgt/ble`` expand to ``bcond``; ``sram_rd``/``sdram_wr``
+etc. expand to ``mem_rd``/``mem_wr``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.npu.isa import (
+    ALU_OPS,
+    BRANCH_CONDS,
+    MEMORY_TARGETS,
+    OPCODES,
+    REGISTER_INDEX,
+    Instruction,
+    Program,
+)
+
+_BRANCH_ALIASES = {f"b{cond}": cond for cond in BRANCH_CONDS}
+_MEM_ALIASES = {}
+for _target in MEMORY_TARGETS:
+    _MEM_ALIASES[f"{_target}_rd"] = ("mem_rd", _target)
+    _MEM_ALIASES[f"{_target}_wr"] = ("mem_wr", _target)
+    _MEM_ALIASES[f"{_target}_post"] = ("mem_post", _target)
+
+
+def _parse_number(token: str, equ: Dict[str, int], line: int) -> int:
+    if token in equ:
+        return equ[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"expected a number or constant, got {token!r}", line)
+
+
+def _strip_comment(text: str) -> str:
+    for marker in (";", "#"):
+        index = text.find(marker)
+        if index >= 0:
+            text = text[:index]
+    return text.strip()
+
+
+def _tokenize_operands(rest: str) -> List[str]:
+    rest = rest.replace(",", " ")
+    return [token for token in rest.split() if token]
+
+
+class Assembler:
+    """Two-pass assembler: pass 1 collects labels, pass 2 encodes."""
+
+    def __init__(self):
+        self.equ: Dict[str, int] = {}
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` text into a validated :class:`Program`."""
+        statements, labels, program_name = self._pass_one(source, name)
+        instructions = [
+            self._encode(mnemonic, operands, labels, line)
+            for mnemonic, operands, line in statements
+        ]
+        try:
+            return Program(program_name, instructions, labels)
+        except Exception as exc:
+            raise AssemblerError(str(exc)) from exc
+
+    # -- pass 1 ----------------------------------------------------------
+    def _pass_one(
+        self, source: str, default_name: str
+    ) -> Tuple[List[Tuple[str, List[str], int]], Dict[str, int], str]:
+        statements: List[Tuple[str, List[str], int]] = []
+        labels: Dict[str, int] = {}
+        name = default_name
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            text = _strip_comment(raw)
+            if not text:
+                continue
+            # Directives.
+            if text.startswith(".name"):
+                parts = text.split(None, 1)
+                if len(parts) != 2:
+                    raise AssemblerError(".name needs an argument", lineno)
+                name = parts[1].strip()
+                continue
+            if text.startswith(".equ"):
+                parts = _tokenize_operands(text[len(".equ"):])
+                if len(parts) != 2:
+                    raise AssemblerError(".equ needs NAME, VALUE", lineno)
+                self.equ[parts[0]] = _parse_number(parts[1], self.equ, lineno)
+                continue
+            if text.startswith("."):
+                raise AssemblerError(f"unknown directive {text.split()[0]!r}", lineno)
+            # Labels (possibly followed by an instruction on the line).
+            while ":" in text:
+                label, _, rest = text.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblerError(f"bad label {label!r}", lineno)
+                if label in labels:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                labels[label] = len(statements)
+                text = rest.strip()
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _tokenize_operands(parts[1]) if len(parts) > 1 else []
+            statements.append((mnemonic, operands, lineno))
+        if not statements:
+            raise AssemblerError("no instructions in source")
+        return statements, labels, name
+
+    # -- pass 2 ----------------------------------------------------------
+    def _encode(
+        self,
+        mnemonic: str,
+        operands: List[str],
+        labels: Dict[str, int],
+        line: int,
+    ) -> Instruction:
+        # Mnemonic expansion.
+        if mnemonic in ALU_OPS:
+            if len(operands) != 3:
+                raise AssemblerError(f"{mnemonic} needs rd, ra, rb|imm", line)
+            if operands[2] in REGISTER_INDEX:
+                mnemonic, operands = "alu", [mnemonic] + operands
+            else:
+                mnemonic, operands = "alui", [mnemonic] + operands
+        elif mnemonic in _BRANCH_ALIASES:
+            operands = [_BRANCH_ALIASES[mnemonic]] + operands
+            mnemonic = "bcond"
+        elif mnemonic in _MEM_ALIASES:
+            base, target = _MEM_ALIASES[mnemonic]
+            operands = [target] + operands
+            mnemonic = base
+
+        shape = OPCODES.get(mnemonic)
+        if shape is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line)
+        if len(operands) != len(shape):
+            raise AssemblerError(
+                f"{mnemonic}: expected {len(shape)} operands, got {len(operands)}",
+                line,
+            )
+        encoded = []
+        for kind, token in zip(shape, operands):
+            if kind == "R":
+                index = REGISTER_INDEX.get(token)
+                if index is None:
+                    raise AssemblerError(f"unknown register {token!r}", line)
+                encoded.append(index)
+            elif kind == "I":
+                encoded.append(_parse_number(token, self.equ, line))
+            elif kind == "L":
+                if token in labels:
+                    encoded.append(labels[token])
+                else:
+                    encoded.append(_parse_number(token, self.equ, line))
+            else:  # "O"
+                encoded.append(token)
+        instruction = Instruction(mnemonic, tuple(encoded), line)
+        return instruction
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble source text in one call."""
+    return Assembler().assemble(source, name=name)

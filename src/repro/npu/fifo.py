@@ -1,0 +1,91 @@
+"""Bounded packet queues: receive queues and transmit rings.
+
+:class:`PacketQueue` is a plain bounded FIFO with drop counting — the
+receive queues are where packets are lost when the microengines fall
+behind (e.g. while stalled through a DVS transition penalty).
+:class:`TxRing` is the unbounded descriptor ring between receive and
+transmit microengines (scratchpad rings in the real chip; the apps pay
+the scratch-write cost explicitly in their step streams).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import NpuError
+from repro.traffic.packet import Packet
+
+
+class PacketQueue:
+    """Bounded FIFO of packets with drop accounting."""
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise NpuError(f"queue {name!r}: capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue if space remains; returns False (and counts) on drop."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(packet)
+        self.enqueued += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        return True
+
+    def poll(self) -> Optional[Packet]:
+        """Dequeue the oldest packet, or ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no packets are queued."""
+        return not self._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<PacketQueue {self.name} depth={len(self._items)}/"
+            f"{self.capacity} dropped={self.dropped}>"
+        )
+
+
+class TxRing:
+    """Unbounded descriptor ring between receive and transmit MEs."""
+
+    def __init__(self, name: str = "txring"):
+        self.name = name
+        self._items: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.max_depth = 0
+
+    def put(self, packet: Packet) -> None:
+        """Append a descriptor."""
+        self._items.append(packet)
+        self.enqueued += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def poll(self) -> Optional[Packet]:
+        """Dequeue the oldest descriptor, or ``None`` when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TxRing {self.name} depth={len(self._items)}>"

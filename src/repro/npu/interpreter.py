@@ -1,0 +1,208 @@
+"""Microcode interpreter: programs become microengine step streams.
+
+The interpreter executes a :class:`~repro.npu.isa.Program` one packet at
+a time, yielding exactly the step vocabulary the fast models use — one
+:class:`~repro.npu.steps.Compute` per retired instruction and a blocking
+:class:`~repro.npu.steps.MemRead`/``MemWrite`` per memory reference — so
+detailed and fast mode share the microengine runtime and the memory
+timing model entirely.
+
+Data flows through the real :class:`~repro.npu.memstore.MemStore`
+contents: a ``mem_rd`` returns the word actually stored at the address,
+so table walks, entry compares and payload scans branch on real data.
+(The data value materializes at issue; the *timing* of the blocking wait
+is enforced by the microengine runtime that consumes the yielded step.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import zlib
+
+from repro.errors import IsaError
+from repro.npu.isa import (
+    NUM_REGISTERS,
+    REGISTER_INDEX,
+    ZERO_REG,
+    Instruction,
+    Program,
+)
+from repro.npu.memstore import MemStore
+from repro.npu.steps import Compute, Drop, MemPost, MemRead, MemWrite, PutTx, Step
+from repro.traffic.packet import Packet
+
+_MASK = 0xFFFFFFFF
+
+#: Default cap on instructions retired per packet (runaway-loop guard).
+MAX_INSTRUCTIONS_PER_PACKET = 200_000
+
+
+def _hash32(a: int, b: int) -> int:
+    """The hash unit: a cheap, stable 32-bit combiner."""
+    data = ((a & _MASK) << 32 | (b & _MASK)).to_bytes(8, "big")
+    return zlib.crc32(data) & _MASK
+
+
+class Interpreter:
+    """Executes a program against per-packet register state.
+
+    Parameters
+    ----------
+    program:
+        The microcode to run per packet.
+    stores:
+        Mapping of memory-target name to :class:`MemStore` contents.
+    max_instructions:
+        Per-packet retirement cap.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        stores: Dict[str, MemStore],
+        max_instructions: int = MAX_INSTRUCTIONS_PER_PACKET,
+    ):
+        self.program = program
+        self.stores = stores
+        self.max_instructions = max_instructions
+        self.packets_run = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    def steps_for_packet(self, packet: Packet) -> Iterator[Step]:
+        """Generate the step stream for one packet."""
+        regs = [0] * NUM_REGISTERS
+        regs[REGISTER_INDEX["pkt_size"]] = packet.size_bytes
+        regs[REGISTER_INDEX["pkt_port"]] = packet.input_port
+        regs[REGISTER_INDEX["pkt_flow"]] = packet.flow_id
+        regs[REGISTER_INDEX["pkt_dst"]] = packet.dst_ip & _MASK
+        regs[REGISTER_INDEX["pkt_src"]] = packet.src_ip & _MASK
+        regs[REGISTER_INDEX["pkt_sport"]] = packet.src_port
+        regs[REGISTER_INDEX["pkt_dport"]] = packet.dst_port
+        regs[REGISTER_INDEX["pkt_proto"]] = packet.protocol
+        regs[REGISTER_INDEX["pkt_paylen"]] = packet.payload_bytes_len
+
+        self.packets_run += 1
+        pc = 0
+        retired = 0
+        program = self.program.instructions
+        while True:
+            if pc >= len(program):
+                raise IsaError(
+                    f"{self.program.name}: fell off the end (pc={pc}); "
+                    "programs must finish with done/drop"
+                )
+            if retired >= self.max_instructions:
+                raise IsaError(
+                    f"{self.program.name}: exceeded {self.max_instructions} "
+                    "instructions for one packet (runaway loop?)"
+                )
+            instr = program[pc]
+            retired += 1
+            self.instructions_retired += 1
+            # Every retired instruction occupies one pipeline slot.
+            yield Compute(1)
+            pc_next = pc + 1
+            opcode = instr.opcode
+
+            if opcode == "nop":
+                pass
+            elif opcode == "li":
+                self._set(regs, instr.operands[0], instr.operands[1])
+            elif opcode == "mov":
+                self._set(regs, instr.operands[0], regs[instr.operands[1]])
+            elif opcode == "alu":
+                op, rd, ra, rb = instr.operands
+                self._set(regs, rd, self._alu(op, regs[ra], regs[rb], instr))
+            elif opcode == "alui":
+                op, rd, ra, imm = instr.operands
+                self._set(regs, rd, self._alu(op, regs[ra], imm, instr))
+            elif opcode == "hash":
+                rd, ra, rb = instr.operands
+                self._set(regs, rd, _hash32(regs[ra], regs[rb]))
+            elif opcode == "br":
+                pc_next = instr.operands[0]
+            elif opcode == "bcond":
+                cond, ra, rb, target = instr.operands
+                if self._branch(cond, regs[ra], regs[rb]):
+                    pc_next = target
+            elif opcode == "mem_rd":
+                target, rd, ra, nbytes = instr.operands
+                yield MemRead(target, nbytes)
+                self._set(regs, rd, self._load(target, regs[ra], instr))
+            elif opcode == "mem_wr":
+                target, ra, rb, nbytes = instr.operands
+                yield MemWrite(target, nbytes)
+                self._store_word(target, regs[ra], regs[rb], instr)
+            elif opcode == "mem_post":
+                target, ra, nbytes = instr.operands
+                yield MemPost(target, nbytes)
+            elif opcode == "set_out_port":
+                packet.output_port = regs[instr.operands[0]] & 0xFF
+            elif opcode == "puttx":
+                yield PutTx()
+            elif opcode == "drop":
+                yield Drop(f"uc-{instr.operands[0]}")
+                return
+            elif opcode == "done":
+                return
+            else:  # pragma: no cover - Program validation rejects these
+                raise IsaError(f"unknown opcode {opcode!r}")
+            pc = pc_next
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set(regs, rd: int, value: int) -> None:
+        if rd != ZERO_REG:
+            regs[rd] = value & _MASK
+
+    @staticmethod
+    def _alu(op: str, a: int, b: int, instr: Instruction) -> int:
+        if op == "add":
+            return a + b
+        if op == "sub":
+            return a - b
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return a << (b & 31)
+        if op == "shr":
+            return (a & _MASK) >> (b & 31)
+        if op == "mul":
+            return a * b
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+        raise IsaError(f"unknown ALU op {op!r} (line {instr.line})")
+
+    @staticmethod
+    def _branch(cond: str, a: int, b: int) -> bool:
+        if cond == "eq":
+            return a == b
+        if cond == "ne":
+            return a != b
+        if cond == "lt":
+            return a < b
+        if cond == "ge":
+            return a >= b
+        if cond == "gt":
+            return a > b
+        return a <= b  # "le"
+
+    def _load(self, target: str, addr: int, instr: Instruction) -> int:
+        store = self.stores.get(target)
+        if store is None:
+            raise IsaError(f"no {target!r} store attached (line {instr.line})")
+        return store.read_word(addr & ~0x3)
+
+    def _store_word(self, target: str, addr: int, value: int, instr: Instruction) -> None:
+        store = self.stores.get(target)
+        if store is None:
+            raise IsaError(f"no {target!r} store attached (line {instr.line})")
+        store.write_word(addr & ~0x3, value)

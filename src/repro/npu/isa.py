@@ -1,0 +1,176 @@
+"""The miniature microengine instruction set.
+
+A deliberately small RISC-flavoured ISA sufficient to express the
+reference applications' packet paths: ALU ops over 32 general registers,
+immediates, branches, blocking memory references (SRAM/SDRAM/scratch),
+a hash unit, and the packet-path primitives (``puttx``/``drop``/``done``).
+
+Per-thread register file layout:
+
+========  =====================================================
+``r0-r31``  general purpose
+``zero``    always 0 (writes ignored)
+``pkt_size`` packet length in bytes (read-only)
+``pkt_port`` input port (read-only)
+``pkt_flow`` flow id (read-only)
+``pkt_dst``  destination IP (read-only)
+``pkt_src``  source IP (read-only)
+``pkt_sport`` / ``pkt_dport`` / ``pkt_proto``  5-tuple pieces
+``pkt_paylen`` payload length in bytes (read-only)
+========  =====================================================
+
+Every instruction costs one pipeline cycle in the interpreter; memory
+instructions additionally block the thread for the controller's latency,
+exactly like the fast-path :class:`~repro.npu.steps.MemRead`/``MemWrite``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.errors import IsaError
+
+#: ALU operations accepted by ``alu``/``alui``.
+ALU_OPS = ("add", "sub", "and", "or", "xor", "shl", "shr", "mul", "min", "max")
+
+#: Branch conditions accepted by ``b<cond>``.
+BRANCH_CONDS = ("eq", "ne", "lt", "ge", "gt", "le")
+
+#: Memory targets (match the step vocabulary / controllers).
+MEMORY_TARGETS = ("sram", "sdram", "scratch")
+
+#: Opcode -> operand-shape table.  Shapes: R register, I immediate,
+#: L label (resolved to instruction index), O alu/branch sub-op.
+OPCODES: Dict[str, Tuple[str, ...]] = {
+    "nop": (),
+    "li": ("R", "I"),
+    "mov": ("R", "R"),
+    "alu": ("O", "R", "R", "R"),
+    "alui": ("O", "R", "R", "I"),
+    "hash": ("R", "R", "R"),
+    "br": ("L",),
+    "bcond": ("O", "R", "R", "L"),
+    "mem_rd": ("O", "R", "R", "I"),   # target, data-reg, addr-reg, nbytes
+    "mem_wr": ("O", "R", "R", "I"),   # target, addr-reg, data-reg, nbytes
+    "mem_post": ("O", "R", "I"),      # target, addr-reg, nbytes
+    "set_out_port": ("R",),
+    "puttx": (),
+    "drop": ("I",),
+    "done": (),
+}
+
+#: Names of the special (read-only except zero-writes-ignored) registers.
+SPECIAL_REGISTERS = (
+    "zero",
+    "pkt_size",
+    "pkt_port",
+    "pkt_flow",
+    "pkt_dst",
+    "pkt_src",
+    "pkt_sport",
+    "pkt_dport",
+    "pkt_proto",
+    "pkt_paylen",
+)
+
+NUM_GP_REGISTERS = 32
+NUM_REGISTERS = NUM_GP_REGISTERS + len(SPECIAL_REGISTERS)
+
+#: Register-name -> index mapping (``r0``..``r31`` then specials).
+REGISTER_INDEX: Dict[str, int] = {f"r{k}": k for k in range(NUM_GP_REGISTERS)}
+for _offset, _name in enumerate(SPECIAL_REGISTERS):
+    REGISTER_INDEX[_name] = NUM_GP_REGISTERS + _offset
+
+ZERO_REG = REGISTER_INDEX["zero"]
+
+
+class Instruction(NamedTuple):
+    """One decoded instruction."""
+
+    opcode: str
+    operands: Tuple
+    #: Source line for diagnostics (0 when synthesized).
+    line: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.opcode} {', '.join(map(str, self.operands))}"
+
+
+def validate_instruction(instr: Instruction) -> None:
+    """Raise :class:`IsaError` if an instruction is malformed."""
+    shape = OPCODES.get(instr.opcode)
+    if shape is None:
+        raise IsaError(f"unknown opcode {instr.opcode!r}")
+    if len(instr.operands) != len(shape):
+        raise IsaError(
+            f"{instr.opcode}: expected {len(shape)} operands, "
+            f"got {len(instr.operands)}"
+        )
+    for kind, operand in zip(shape, instr.operands):
+        if kind == "R":
+            if not isinstance(operand, int) or not 0 <= operand < NUM_REGISTERS:
+                raise IsaError(f"{instr.opcode}: bad register operand {operand!r}")
+        elif kind in ("I", "L"):
+            if not isinstance(operand, int):
+                raise IsaError(f"{instr.opcode}: bad numeric operand {operand!r}")
+        elif kind == "O":
+            if not isinstance(operand, str):
+                raise IsaError(f"{instr.opcode}: bad sub-op {operand!r}")
+    # Sub-op domains.
+    if instr.opcode in ("alu", "alui") and instr.operands[0] not in ALU_OPS:
+        raise IsaError(f"unknown ALU op {instr.operands[0]!r}")
+    if instr.opcode == "bcond" and instr.operands[0] not in BRANCH_CONDS:
+        raise IsaError(f"unknown branch condition {instr.operands[0]!r}")
+    if instr.opcode in ("mem_rd", "mem_wr", "mem_post"):
+        if instr.operands[0] not in MEMORY_TARGETS:
+            raise IsaError(f"unknown memory target {instr.operands[0]!r}")
+        nbytes = instr.operands[-1]
+        if not isinstance(nbytes, int) or nbytes <= 0:
+            raise IsaError(f"{instr.opcode}: transfer size must be positive")
+
+
+class Program:
+    """A validated instruction sequence with label metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        instructions: List[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+    ):
+        if not instructions:
+            raise IsaError(f"program {name!r} is empty")
+        for instr in instructions:
+            validate_instruction(instr)
+        for instr in instructions:
+            if instr.opcode in ("br", "bcond"):
+                target = instr.operands[-1]
+                if not 0 <= target < len(instructions):
+                    raise IsaError(
+                        f"{name}: branch target {target} outside program "
+                        f"(line {instr.line})"
+                    )
+        self.name = name
+        self.instructions = instructions
+        self.labels = dict(labels or {})
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(index, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:4d}  {instr}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Program {self.name!r} {len(self.instructions)} instrs>"

@@ -1,0 +1,93 @@
+"""Word-addressed memory contents (the *data* half of the memory model).
+
+Timing lives in :mod:`repro.npu.memqueue`; this module stores what the
+memories actually contain, so detailed-mode microcode can make real
+data-dependent decisions (trie walks over table words, NAT entry
+compares, payload scans).  The store is sparse — a dict of 32-bit words —
+since simulated SRAM/SDRAM are large but sparsely touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import MemoryModelError
+
+WORD_BYTES = 4
+WORD_MASK = 0xFFFFFFFF
+
+
+class MemStore:
+    """Sparse 32-bit-word memory with byte-level helpers.
+
+    Addresses are byte addresses; word accesses must be word-aligned.
+    Unwritten locations read as zero, as initialized hardware would.
+    """
+
+    def __init__(self, name: str, size_bytes: int):
+        if size_bytes <= 0:
+            raise MemoryModelError(f"{name}: size must be positive")
+        self.name = name
+        self.size_bytes = size_bytes
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- word access -----------------------------------------------------
+    def _check_word_addr(self, addr: int) -> None:
+        if addr % WORD_BYTES != 0:
+            raise MemoryModelError(f"{self.name}: unaligned word address {addr:#x}")
+        if not 0 <= addr < self.size_bytes:
+            raise MemoryModelError(
+                f"{self.name}: address {addr:#x} outside 0..{self.size_bytes:#x}"
+            )
+
+    def read_word(self, addr: int) -> int:
+        """Read the 32-bit word at byte address ``addr``."""
+        self._check_word_addr(addr)
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write a 32-bit word at byte address ``addr``."""
+        self._check_word_addr(addr)
+        self.writes += 1
+        self._words[addr] = value & WORD_MASK
+
+    # -- byte access -------------------------------------------------------
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write arbitrary bytes starting at ``addr`` (any alignment)."""
+        if not 0 <= addr <= self.size_bytes - len(data):
+            raise MemoryModelError(
+                f"{self.name}: byte range {addr:#x}+{len(data)} out of bounds"
+            )
+        for offset, byte in enumerate(data):
+            byte_addr = addr + offset
+            word_addr = byte_addr & ~0x3
+            shift = (byte_addr & 0x3) * 8
+            word = self._words.get(word_addr, 0)
+            word = (word & ~(0xFF << shift)) | (byte << shift)
+            self._words[word_addr] = word
+        self.writes += (len(data) + WORD_BYTES - 1) // WORD_BYTES
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``addr``."""
+        if not 0 <= addr <= self.size_bytes - length:
+            raise MemoryModelError(
+                f"{self.name}: byte range {addr:#x}+{length} out of bounds"
+            )
+        out = bytearray()
+        for offset in range(length):
+            byte_addr = addr + offset
+            word = self._words.get(byte_addr & ~0x3, 0)
+            out.append((word >> ((byte_addr & 0x3) * 8)) & 0xFF)
+        self.reads += (length + WORD_BYTES - 1) // WORD_BYTES
+        return bytes(out)
+
+    @property
+    def words_in_use(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemStore {self.name} {self.words_in_use} words in use>"

@@ -1,0 +1,154 @@
+"""Microengine power model and whole-chip energy accounting.
+
+The calibration anchor is ``PowerConfig.me_active_w_max``: one ME's
+active power at the top VF point.  The effective capacitance is derived
+once (``C_eff = P / (Vdd^2 * f)``) and every other VF point follows the
+physics: halving voltage quarters the dynamic power, lowering frequency
+scales it linearly — which is why DVS saves energy rather than merely
+stretching execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import PowerConfig
+from repro.errors import ConfigError
+from repro.npu.microengine import BUSY, Microengine
+from repro.sim.kernel import Simulator
+from repro.sim.stats import TimeWeightedValue
+
+
+class MePowerModel:
+    """Maps an ME's (state, frequency, voltage) to watts."""
+
+    def __init__(self, config: PowerConfig, freq_max_hz: float, vdd_max: float):
+        if freq_max_hz <= 0 or vdd_max <= 0:
+            raise ConfigError("freq_max_hz and vdd_max must be positive")
+        self.config = config
+        #: Effective switched capacitance derived from the calibration point.
+        self.c_eff = config.me_active_w_max / (vdd_max**2 * freq_max_hz)
+
+    def active_w(self, freq_hz: float, vdd: float) -> float:
+        """Dynamic power while executing instructions."""
+        return self.c_eff * vdd**2 * freq_hz
+
+    def idle_w(self, freq_hz: float, vdd: float) -> float:
+        """Power while idle or stalled (clock partially gated)."""
+        return self.config.me_idle_fraction * self.active_w(freq_hz, vdd)
+
+    def watts_for(self, me: Microengine) -> float:
+        """Current power draw of a live microengine."""
+        if me.states.state == BUSY:
+            return self.active_w(me.clock.freq_hz, me.vdd)
+        return self.idle_w(me.clock.freq_hz, me.vdd)
+
+
+class PowerAccountant:
+    """Aggregates all chip energy; source of the ``energy`` annotation.
+
+    Components:
+
+    * per-ME continuous signals (updated through the MEs'
+      ``power_listener`` hooks);
+    * per-access memory/bus energy (updated through the controllers'
+      ``on_energy`` hooks);
+    * the constant base power;
+    * discrete DVS-monitor overhead charges.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PowerConfig,
+        me_model: MePowerModel,
+    ):
+        self.sim = sim
+        self.config = config
+        self.me_model = me_model
+        self._me_signals: Dict[int, TimeWeightedValue] = {}
+        self._discrete_j = 0.0
+        self._start_ps = sim.now_ps
+        self.memory_energy_j: Dict[str, float] = {}
+        self.overhead_j = 0.0
+
+        self._per_byte_nj = {
+            "sram": config.sram_byte_nj,
+            "sdram": config.sdram_byte_nj,
+            "scratch": config.scratch_byte_nj,
+            "ixbus": config.bus_byte_nj,
+        }
+        self._per_access_nj = {
+            "sram": config.sram_access_nj,
+            "sdram": config.sdram_access_nj,
+            "scratch": config.scratch_access_nj,
+            "ixbus": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Hook endpoints
+    # ------------------------------------------------------------------
+    def attach_me(self, me: Microengine) -> None:
+        """Register a microengine and start integrating its power."""
+        signal = TimeWeightedValue(
+            self.sim, self.me_model.watts_for(me), name=f"me{me.index}.power"
+        )
+        self._me_signals[me.index] = signal
+        me.power_listener = self._on_me_change
+
+    def _on_me_change(self, me: Microengine) -> None:
+        self._me_signals[me.index].set(self.me_model.watts_for(me))
+
+    def on_memory_energy(self, name: str, nbytes: int) -> None:
+        """Charge per-access + per-byte energy for a memory/bus transfer."""
+        nanojoules = self._per_access_nj.get(name, 0.0) + nbytes * self._per_byte_nj.get(
+            name, 0.0
+        )
+        joules = nanojoules * 1e-9
+        self._discrete_j += joules
+        self.memory_energy_j[name] = self.memory_energy_j.get(name, 0.0) + joules
+
+    def add_overhead_nj(self, nanojoules: float) -> None:
+        """Charge DVS monitor-hardware overhead energy."""
+        joules = nanojoules * 1e-9
+        self._discrete_j += joules
+        self.overhead_j += joules
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def total_energy_j(self) -> float:
+        """Cumulative chip energy since construction, in joules."""
+        elapsed_s = (self.sim.now_ps - self._start_ps) / 1e12
+        me_j = sum(signal.integral for signal in self._me_signals.values())
+        return me_j + self._discrete_j + self.config.base_w * elapsed_s
+
+    def total_energy_uj(self) -> float:
+        """Cumulative chip energy in microjoules (trace annotation)."""
+        return self.total_energy_j() * 1e6
+
+    def me_energy_j(self, index: int) -> float:
+        """Energy one ME has consumed so far."""
+        return self._me_signals[index].integral
+
+    def mean_power_w(self) -> float:
+        """Average chip power since construction."""
+        elapsed_s = (self.sim.now_ps - self._start_ps) / 1e12
+        if elapsed_s <= 0:
+            return 0.0
+        return self.total_energy_j() / elapsed_s
+
+    def breakdown_w(self) -> Dict[str, float]:
+        """Mean power per component group (for reports and tests)."""
+        elapsed_s = (self.sim.now_ps - self._start_ps) / 1e12
+        if elapsed_s <= 0:
+            return {}
+        out = {
+            f"me{index}": signal.integral / elapsed_s
+            for index, signal in self._me_signals.items()
+        }
+        for name, joules in self.memory_energy_j.items():
+            out[name] = joules / elapsed_s
+        out["base"] = self.config.base_w
+        out["dvs_overhead"] = self.overhead_j / elapsed_s
+        return out

@@ -1,0 +1,39 @@
+"""DVS monitor-hardware overhead accounting.
+
+TDVS needs a 32-bit adder that accumulates packet sizes in each monitor
+window and a comparator against the current threshold; the adder runs
+once per packet arrival — "much less frequently than the ALUs in ME
+pipelines" — and the paper measured the overhead under 1 % of total
+power.  EDVS needs per-ME idle counters sampled once per window.  Both
+are charged here as discrete energy events so experiments can verify the
+sub-1 % claim (see the ``idle``/ablation benches).
+"""
+
+from __future__ import annotations
+
+from repro.config import PowerConfig
+from repro.power.model import PowerAccountant
+
+
+class DvsOverheadMeter:
+    """Charges monitor-hardware energy to the accountant."""
+
+    def __init__(self, accountant: PowerAccountant, config: PowerConfig):
+        self.accountant = accountant
+        self.config = config
+        self.packet_charges = 0
+        self.window_charges = 0
+
+    def on_packet_arrival(self) -> None:
+        """TDVS adder activity: one charge per arriving packet."""
+        self.packet_charges += 1
+        self.accountant.add_overhead_nj(self.config.tdvs_adder_nj_per_packet)
+
+    def on_window_evaluation(self) -> None:
+        """EDVS counter sample / TDVS comparator: one charge per window."""
+        self.window_charges += 1
+        self.accountant.add_overhead_nj(self.config.edvs_counter_nj_per_window)
+
+    def total_overhead_j(self) -> float:
+        """Total monitor energy charged so far."""
+        return self.accountant.overhead_j

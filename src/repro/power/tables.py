@@ -1,0 +1,31 @@
+"""Reference data: the Intel IXP family (the paper's Figure 1).
+
+These are published datasheet-level numbers the paper uses to motivate
+the study (power grows with NPU complexity); the fig01 experiment prints
+them alongside the reproduction model's own configured operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IxpDataPoint:
+    """One row of the paper's Figure 1."""
+
+    name: str
+    performance_mips: int
+    media_bandwidth_gbps: float
+    me_frequency_mhz: int
+    num_mes: int
+    power_w: float
+
+
+#: The paper's Figure 1, row for row.
+IXP_FAMILY: Tuple[IxpDataPoint, ...] = (
+    IxpDataPoint("IXP1200", 1200, 1.0, 232, 6, 4.5),
+    IxpDataPoint("IXP2400", 4800, 2.4, 600, 8, 10.0),
+    IxpDataPoint("IXP2800", 23000, 10.0, 1400, 16, 14.0),
+)

@@ -1,0 +1,184 @@
+"""One-call simulation runs: config in, totals and distributions out.
+
+:class:`SimulationRun` wires a :class:`~repro.npu.chip.NpuChip`, a
+traffic source and (optionally) a DVS governor together from a single
+:class:`~repro.config.RunConfig`, attaches any number of trace sinks
+(LOC analyzers, trace writers), and runs for the configured number of
+reference-clock cycles.  This is the entry point the experiments, the
+examples and most integration tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import RunConfig
+from repro.dvs.combined import CombinedGovernor
+from repro.dvs.edvs import EdvsGovernor
+from repro.dvs.tdvs import TdvsGovernor
+from repro.dvs.vf_table import VfTable
+from repro.errors import ConfigError
+from repro.npu.chip import NpuChip, RunTotals
+from repro.power.overhead import DvsOverheadMeter
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.traffic.diurnal import DiurnalModel
+from repro.traffic.generator import TrafficSource
+from repro.traffic.sampler import SegmentSpec, TrafficSampler
+from repro.traffic.sizes import ALL_MINIMUM, IMIX_CLASSIC, IMIX_DOWNSTREAM
+
+_SIZE_MIXES = {
+    "imix": IMIX_CLASSIC,
+    "imix_downstream": IMIX_DOWNSTREAM,
+    "min64": ALL_MINIMUM,
+}
+
+
+def resolve_offered_load_bps(config: RunConfig) -> float:
+    """Offered load in bits/second from a run's traffic config.
+
+    Named levels resolve through the diurnal sampler (the NLANR-like day
+    profile); explicit loads pass through.
+    """
+    traffic = config.traffic
+    if traffic.offered_load_mbps is not None:
+        return traffic.offered_load_mbps * 1e6
+    sampler = TrafficSampler(DiurnalModel())
+    return sampler.level_load_bps(traffic.level)
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run reports."""
+
+    config: RunConfig
+    totals: RunTotals
+    governor_policy: str
+    governor_transitions: int
+    governor_windows: int
+    dvs_overhead_w: float
+
+    @property
+    def mean_power_w(self) -> float:
+        """Mean chip power over the run."""
+        return self.totals.mean_power_w
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Forwarded throughput over the run."""
+        return self.totals.throughput_mbps
+
+
+class SimulationRun:
+    """A fully wired simulation, ready to run once."""
+
+    def __init__(self, config: RunConfig, sinks: Sequence = ()):
+        config.validate()
+        self.config = config
+        self.sim = Simulator(name=f"{config.benchmark}-{config.dvs.policy}")
+        self.rng_streams = RngStreams(config.seed)
+        self.chip = NpuChip(self.sim, config, self.rng_streams)
+        for sink in sinks:
+            self.chip.add_sink(sink)
+
+        # -- traffic -----------------------------------------------------
+        size_mix = _SIZE_MIXES[config.traffic.size_mix]
+        spec = SegmentSpec(
+            level=config.traffic.level or "explicit",
+            offered_load_bps=resolve_offered_load_bps(config),
+            duration_s=1.0,  # actual stop time comes from duration_cycles
+            process=config.traffic.process,
+            burst_ratio=config.traffic.burst_ratio,
+            burst_fraction=config.traffic.burst_fraction,
+        )
+        self.traffic = TrafficSource.from_spec(
+            self.sim,
+            self.chip.deliver,
+            spec,
+            size_mix=size_mix,
+            num_ports=config.npu.num_ports,
+            rng_streams=self.rng_streams,
+        )
+
+        # -- DVS governor ---------------------------------------------------
+        self.governor = None
+        self.overhead_meter = None
+        if config.dvs.policy != "none":
+            vf_table = VfTable.from_config(config.npu)
+            self.overhead_meter = DvsOverheadMeter(self.chip.accountant, config.power)
+            if config.dvs.policy == "tdvs":
+                self.governor = TdvsGovernor(
+                    self.sim,
+                    config.dvs,
+                    vf_table,
+                    self.chip.mes,
+                    self.chip.reference_clock,
+                    self.chip.traffic_monitor,
+                    overhead=self.overhead_meter,
+                )
+                # The monitor adder runs on every packet arrival.
+                self.chip.arrival_hooks.append(self.overhead_meter.on_packet_arrival)
+            elif config.dvs.policy == "edvs":
+                self.governor = EdvsGovernor(
+                    self.sim,
+                    config.dvs,
+                    vf_table,
+                    self.chip.mes,
+                    overhead=self.overhead_meter,
+                )
+            elif config.dvs.policy == "combined":
+                self.governor = CombinedGovernor(
+                    self.sim,
+                    config.dvs,
+                    vf_table,
+                    self.chip.mes,
+                    self.chip.reference_clock,
+                    self.chip.traffic_monitor,
+                    overhead=self.overhead_meter,
+                )
+                self.chip.arrival_hooks.append(self.overhead_meter.on_packet_arrival)
+            else:  # pragma: no cover - config validation rejects others
+                raise ConfigError(f"unhandled policy {config.dvs.policy!r}")
+
+        self._ran = False
+
+    @property
+    def duration_ps(self) -> int:
+        """Run length in picoseconds (reference cycles x period)."""
+        return self.chip.reference_clock.delay_for_cycles(
+            self.config.duration_cycles
+        )
+
+    def run(self) -> RunResult:
+        """Execute the simulation and return the result."""
+        if self._ran:
+            raise ConfigError("SimulationRun objects are single-use")
+        self._ran = True
+        stop_ps = self.duration_ps
+        self.chip.start()
+        if self.governor is not None:
+            self.governor.start()
+        self.traffic.start(stop_ps=stop_ps)
+        self.sim.run(until_ps=stop_ps)
+
+        totals = self.chip.totals()
+        elapsed_s = totals.duration_s or 1.0
+        overhead_w = (
+            self.chip.accountant.overhead_j / elapsed_s
+            if self.overhead_meter is not None
+            else 0.0
+        )
+        return RunResult(
+            config=self.config,
+            totals=totals,
+            governor_policy=self.config.dvs.policy,
+            governor_transitions=self.governor.transitions if self.governor else 0,
+            governor_windows=self.governor.windows_evaluated if self.governor else 0,
+            dvs_overhead_w=overhead_w,
+        )
+
+
+def run_simulation(config: RunConfig, sinks: Sequence = ()) -> RunResult:
+    """Build and run a simulation in one call."""
+    return SimulationRun(config, sinks=sinks).run()

@@ -1,0 +1,189 @@
+"""Event-driven simulation kernel.
+
+The kernel is a classic calendar queue built on :mod:`heapq`.  Time is an
+integer number of picoseconds (see :mod:`repro.units`), which makes event
+ordering exact: two events scheduled for the same picosecond are delivered
+in scheduling order (a monotonically increasing sequence number breaks
+ties), so simulations are bit-reproducible for a given seed.
+
+Components interact with the kernel exclusively through
+:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`, which return an
+:class:`Event` handle that may be cancelled.  There is no implicit global
+simulator; every model object receives the :class:`Simulator` it belongs
+to, so several simulations can coexist in one process (the experiment
+sweeps rely on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+
+#: Callback signature for scheduled events.
+EventCallback = Callable[..., None]
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are created by :class:`Simulator`; user code only cancels
+    them or inspects :attr:`time_ps`.
+    """
+
+    __slots__ = ("time_ps", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time_ps: int, seq: int, callback: EventCallback, args: tuple):
+        self.time_ps = time_ps
+        self.seq = seq
+        self.callback: Optional[EventCallback] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event's callback never runs."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled events awaiting their heap
+        # turn do not pin large object graphs (packets, traces) in memory.
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time_ps != other.time_ps:
+            return self.time_ps < other.time_ps
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time_ps}ps seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-picosecond timeline.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in ``repr`` and error messages.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1_000, fired.append, "a")
+    >>> _ = sim.schedule(500, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now_ps
+    1000
+    """
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.now_ps: int = 0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ps: int, callback: EventCallback, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SchedulingError(
+                f"cannot schedule {delay_ps} ps in the past (now={self.now_ps})"
+            )
+        return self.schedule_at(self.now_ps + int(delay_ps), callback, *args)
+
+    def schedule_at(self, time_ps: int, callback: EventCallback, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ps``."""
+        if time_ps < self.now_ps:
+            raise SchedulingError(
+                f"cannot schedule at {time_ps} ps, now is {self.now_ps} ps"
+            )
+        self._seq += 1
+        event = Event(int(time_ps), self._seq, callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ps: Optional[int] = None) -> None:
+        """Run until the queue drains, ``stop()`` is called, or ``until_ps``.
+
+        When ``until_ps`` is given, events strictly after it stay queued
+        and ``now_ps`` is advanced to exactly ``until_ps`` on return, so a
+        later ``run`` call resumes seamlessly.
+        """
+        if self._running:
+            raise SimulationError(f"simulator {self.name!r} is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and event.time_ps > until_ps:
+                    break
+                heapq.heappop(self._queue)
+                self.now_ps = event.time_ps
+                callback, args = event.callback, event.args
+                self._events_executed += 1
+                assert callback is not None  # non-cancelled events keep theirs
+                callback(*args)
+            if until_ps is not None and not self._stopped and until_ps > self.now_ps:
+                self.now_ps = until_ps
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event; return ``False`` if none."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now_ps = event.time_ps
+            self._events_executed += 1
+            assert event.callback is not None
+            event.callback(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks delivered so far."""
+        return self._events_executed
+
+    def peek_next_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator {self.name!r} now={self.now_ps}ps "
+            f"pending={len(self._queue)}>"
+        )

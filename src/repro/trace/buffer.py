@@ -1,0 +1,100 @@
+"""In-memory trace sinks.
+
+Sinks implement a single method, ``emit(event)``.  The chip's trace
+recorder fans events out to any number of sinks; typical compositions:
+
+* a :class:`TraceBuffer` filtered to ``forward`` events feeding a LOC
+  distribution analyzer;
+* a :class:`~repro.trace.writer.TextTraceWriter` dumping the full stream
+  to disk for offline analysis;
+* a :class:`NullSink` when tracing is disabled.
+
+LOC analyzers in this package are *streaming* (they subscribe as sinks),
+so full in-memory retention is only needed when a test or example wants to
+inspect the raw events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Sequence
+
+from repro.trace.events import TraceEvent
+
+
+class NullSink:
+    """Discards every event (tracing disabled)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Ignore the event."""
+
+
+class MultiSink:
+    """Fans each event out to several sinks, in order."""
+
+    def __init__(self, sinks: Sequence = ()):
+        self.sinks: List = list(sinks)
+
+    def add(self, sink) -> None:
+        """Append another sink."""
+        self.sinks.append(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class TraceBuffer:
+    """Retains events in memory, optionally filtered and bounded.
+
+    Parameters
+    ----------
+    names:
+        If given, only events whose name is in this set are retained.
+    predicate:
+        Optional extra filter called with each event.
+    max_events:
+        If given, only the most recent ``max_events`` matching events are
+        kept (a ring buffer); ``dropped`` counts evictions.
+    """
+
+    def __init__(
+        self,
+        names: Optional[Iterable[str]] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+        max_events: Optional[int] = None,
+    ):
+        self.names = frozenset(names) if names is not None else None
+        self.predicate = predicate
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self.max_events = max_events
+        self.dropped = 0
+        self.total_emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self.names is not None and event.name not in self.names:
+            return
+        if self.predicate is not None and not self.predicate(event):
+            return
+        if self.max_events is not None and len(self._events) == self.max_events:
+            self.dropped += 1
+        self._events.append(event)
+        self.total_emitted += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(list(self._events))
+
+    def clear(self) -> None:
+        """Drop all retained events (counters are kept)."""
+        self._events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceBuffer kept={len(self._events)} emitted={self.total_emitted}>"

@@ -1,0 +1,133 @@
+"""Trace file writers.
+
+Two on-disk formats are supported:
+
+* **text** — the human-readable column layout of the paper's Figure 4
+  snapshot (``cycle  time(us)  energy  total_pkt  total_bit  event``);
+* **CSV** — one header row plus one row per event, for spreadsheet or
+  :mod:`csv`-based tooling.
+
+Writers are sinks (they expose ``emit``); they may be used as context
+managers to guarantee the underlying file is flushed and closed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, TextIO
+
+from repro.trace.annotations import ANNOTATION_NAMES
+from repro.trace.events import TraceEvent
+
+#: Header used by the text format, mirroring Figure 4 of the paper
+#: (with the garbled "p loss" column rendered as the counters it holds).
+TEXT_HEADER = "cycle time(us) energy total_pkt total_bit event"
+
+
+class TextTraceWriter:
+    """Writes the Figure 4 text format to a file-like object.
+
+    Parameters
+    ----------
+    stream:
+        Open text stream; the caller keeps ownership unless the writer was
+        built with :meth:`open`.
+    header:
+        Whether to write the column header first.
+    """
+
+    def __init__(self, stream: TextIO, header: bool = True):
+        self.stream = stream
+        self._owns_stream = False
+        self.events_written = 0
+        if header:
+            stream.write(TEXT_HEADER + "\n")
+
+    @classmethod
+    def open(cls, path: str, header: bool = True) -> "TextTraceWriter":
+        """Open ``path`` for writing and build a writer that closes it."""
+        stream = open(path, "w", encoding="utf-8")
+        writer = cls(stream, header=header)
+        writer._owns_stream = True
+        return writer
+
+    def emit(self, event: TraceEvent) -> None:
+        self.stream.write(
+            f"{event.cycle} {event.time:.3f} {event.energy:.6f} "
+            f"{event.total_pkt} {event.total_bit} {event.name}\n"
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this writer opened it."""
+        self.stream.flush()
+        if self._owns_stream:
+            self.stream.close()
+
+    def __enter__(self) -> "TextTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CsvTraceWriter:
+    """Writes a CSV trace (header row + one row per event)."""
+
+    FIELDS = ("event",) + ANNOTATION_NAMES
+
+    def __init__(self, stream: TextIO, header: bool = True):
+        self.stream = stream
+        self._owns_stream = False
+        self._writer = csv.writer(stream)
+        self.events_written = 0
+        if header:
+            self._writer.writerow(self.FIELDS)
+
+    @classmethod
+    def open(cls, path: str, header: bool = True) -> "CsvTraceWriter":
+        """Open ``path`` for writing and build a writer that closes it."""
+        stream = open(path, "w", encoding="utf-8", newline="")
+        writer = cls(stream, header=header)
+        writer._owns_stream = True
+        return writer
+
+    def emit(self, event: TraceEvent) -> None:
+        self._writer.writerow(
+            (
+                event.name,
+                event.cycle,
+                repr(event.time),
+                repr(event.energy),
+                event.total_pkt,
+                event.total_bit,
+            )
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this writer opened it."""
+        self.stream.flush()
+        if self._owns_stream:
+            self.stream.close()
+
+    def __enter__(self) -> "CsvTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def format_trace_snapshot(events, limit: Optional[int] = None) -> str:
+    """Render events as a Figure 4-style text snapshot and return it.
+
+    Convenience wrapper used by the fig04 experiment and examples.
+    """
+    buffer = io.StringIO()
+    writer = TextTraceWriter(buffer)
+    for index, event in enumerate(events):
+        if limit is not None and index >= limit:
+            break
+        writer.emit(event)
+    return buffer.getvalue()

@@ -1,0 +1,162 @@
+"""Simulator-bound traffic source.
+
+:class:`TrafficSource` schedules packet arrivals on the simulation kernel
+and delivers each packet to one of the NPU's device ports.  Port choice
+hashes the flow id so a flow always lands on the same port (as a real
+switch fabric would), which in turn keeps per-port ordering sensible.
+
+The source also keeps the *offered* counters (packets/bits presented to
+the NPU), which the experiments compare against the *forwarded* counters
+to measure loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import TrafficError
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.traffic.arrivals import ArrivalProcess, arrival_process
+from repro.traffic.packet import FlowPool, Packet
+from repro.traffic.sizes import IMIX_CLASSIC, PacketSizeMix
+
+#: Delivery callback: receives (port_index, packet).
+DeliverFn = Callable[[int, Packet], None]
+
+
+class TrafficSource:
+    """Generates packets and delivers them to device ports.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel to schedule on.
+    deliver:
+        Callback invoked at each arrival instant with
+        ``(port_index, packet)``; the NPU's port array plugs in here.
+    process:
+        The arrival process (or use :meth:`from_spec`).
+    size_mix:
+        Packet-size distribution.
+    num_ports:
+        Number of device ports to spread flows over (16 for IXP1200).
+    rng_streams:
+        Root RNG; the source draws from ``arrivals``, ``sizes``,
+        ``flows`` and ``payload`` child streams.
+    num_flows / zipf_s:
+        Flow-population shape (see :class:`~repro.traffic.packet.FlowPool`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: DeliverFn,
+        process: ArrivalProcess,
+        size_mix: PacketSizeMix = IMIX_CLASSIC,
+        num_ports: int = 16,
+        rng_streams: Optional[RngStreams] = None,
+        num_flows: int = 512,
+        zipf_s: float = 0.9,
+    ):
+        if num_ports <= 0:
+            raise TrafficError(f"num_ports must be positive, got {num_ports}")
+        self.sim = sim
+        self.deliver = deliver
+        self.process = process
+        self.size_mix = size_mix
+        self.num_ports = num_ports
+        streams = rng_streams or RngStreams(0)
+        self._arrival_rng = streams.get("traffic.arrivals")
+        self._size_rng = streams.get("traffic.sizes")
+        self._payload_rng = streams.get("traffic.payload")
+        self.flows = FlowPool(num_flows, zipf_s, streams.get("traffic.flows"))
+
+        self.offered_packets = 0
+        self.offered_bits = 0
+        self._next_seq = 0
+        self._stop_ps: Optional[int] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        sim: Simulator,
+        deliver: DeliverFn,
+        spec,
+        size_mix: PacketSizeMix = IMIX_CLASSIC,
+        num_ports: int = 16,
+        rng_streams: Optional[RngStreams] = None,
+    ) -> "TrafficSource":
+        """Build a source from a :class:`~repro.traffic.sampler.SegmentSpec`."""
+        kwargs = {}
+        if spec.process == "mmpp":
+            kwargs = {
+                "burst_ratio": spec.burst_ratio,
+                "burst_fraction": spec.burst_fraction,
+            }
+        process = arrival_process(
+            spec.process, spec.offered_load_bps, size_mix.mean_bits, **kwargs
+        )
+        return cls(
+            sim,
+            deliver,
+            process,
+            size_mix=size_mix,
+            num_ports=num_ports,
+            rng_streams=rng_streams,
+        )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def start(self, stop_ps: Optional[int] = None) -> None:
+        """Begin generating; stop scheduling new arrivals after ``stop_ps``."""
+        if self._started:
+            raise TrafficError("traffic source already started")
+        self._started = True
+        self._stop_ps = stop_ps
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.process.next_gap_ps(self._arrival_rng)
+        arrival_ps = self.sim.now_ps + gap
+        if self._stop_ps is not None and arrival_ps > self._stop_ps:
+            return
+        self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        packet = self._make_packet(self.sim.now_ps)
+        self.offered_packets += 1
+        self.offered_bits += packet.size_bits
+        self.deliver(packet.input_port, packet)
+        self._schedule_next()
+
+    def _make_packet(self, arrival_ps: int) -> Packet:
+        flow_id = self.flows.draw()
+        src_ip, dst_ip, src_port, dst_port, protocol = self.flows.endpoints(flow_id)
+        seq = self._next_seq
+        self._next_seq += 1
+        return Packet(
+            seq=seq,
+            arrival_ps=arrival_ps,
+            size_bytes=self.size_mix.sample(self._size_rng),
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            flow_id=flow_id,
+            input_port=flow_id % self.num_ports,
+            payload_seed=self._payload_rng.getrandbits(32),
+        )
+
+    @property
+    def offered_load_bps(self) -> float:
+        """Measured offered load so far (bits/second of simulated time)."""
+        if self.sim.now_ps == 0:
+            return 0.0
+        return self.offered_bits * 1e12 / self.sim.now_ps

@@ -1,0 +1,106 @@
+"""Extracting high/medium/low traffic segments from a day profile.
+
+The paper: "It is obviously too expensive to simulate the entire day ...
+We sample a few seconds of real traffic in high, medium and low arriving
+rates as individual inputs to the simulator."  The sampler does that
+against a :class:`~repro.traffic.diurnal.DiurnalModel`: it locates times
+of day whose base rate sits at chosen percentiles and emits a
+:class:`SegmentSpec` — the offered load plus burstiness parameters — that
+the :class:`~repro.traffic.generator.TrafficSource` turns into packets.
+
+Experiments additionally apply a *line-rate scale factor*: the paper's
+NPU is driven well above the sampled router's absolute rates (their
+throughput axes reach 1400 Mbps), so segment loads are scaled to the
+NPU's regime while keeping the high/medium/low ratios of the day profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import TrafficError
+from repro.traffic.diurnal import DiurnalModel
+
+#: Percentile of the day's base-rate curve used for each named level.
+LEVEL_PERCENTILES: Dict[str, float] = {"low": 10.0, "med": 55.0, "high": 97.0}
+
+
+@dataclass
+class SegmentSpec:
+    """A few seconds of traffic at a named level, ready to generate.
+
+    Attributes
+    ----------
+    level:
+        ``"low"`` / ``"med"`` / ``"high"``.
+    offered_load_bps:
+        Mean offered load for the segment (after NPU scaling).
+    duration_s:
+        Segment length in seconds.
+    process:
+        Arrival-process kind (``"mmpp"`` by default — sampled real
+        traffic is bursty at DVS-window timescales).
+    burst_ratio / burst_fraction:
+        MMPP shape parameters (ignored by other processes).
+    """
+
+    level: str
+    offered_load_bps: float
+    duration_s: float = 2.0
+    process: str = "mmpp"
+    burst_ratio: float = 4.0
+    burst_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.offered_load_bps <= 0:
+            raise TrafficError("segment offered load must be positive")
+        if self.duration_s <= 0:
+            raise TrafficError("segment duration must be positive")
+
+
+class TrafficSampler:
+    """Derives named traffic segments from a diurnal day model.
+
+    Parameters
+    ----------
+    model:
+        The day profile to sample.
+    npu_scale_to_bps:
+        The NPU-regime load that the *high* level maps to; lower levels
+        scale proportionally to the day profile's percentile rates.
+        Defaults to 1.6 Gbit/s, which drives the IXP1200-class model past
+        saturation exactly as the paper's high samples do.
+    """
+
+    def __init__(self, model: DiurnalModel, npu_scale_to_bps: float = 1.6e9):
+        if npu_scale_to_bps <= 0:
+            raise TrafficError("npu_scale_to_bps must be positive")
+        self.model = model
+        self.npu_scale_to_bps = npu_scale_to_bps
+
+    def level_load_bps(self, level: str) -> float:
+        """NPU-scaled offered load for a named level."""
+        try:
+            percentile = LEVEL_PERCENTILES[level]
+        except KeyError:
+            raise TrafficError(
+                f"unknown traffic level {level!r}; known: {sorted(LEVEL_PERCENTILES)}"
+            ) from None
+        day_rate = self.model.percentile_rate(percentile)
+        high_rate = self.model.percentile_rate(LEVEL_PERCENTILES["high"])
+        return self.npu_scale_to_bps * day_rate / high_rate
+
+    def segment(self, level: str, duration_s: float = 2.0) -> SegmentSpec:
+        """Build the :class:`SegmentSpec` for a named level."""
+        return SegmentSpec(
+            level=level,
+            offered_load_bps=self.level_load_bps(level),
+            duration_s=duration_s,
+        )
+
+    def all_segments(self, duration_s: float = 2.0) -> Dict[str, SegmentSpec]:
+        """Segments for every named level (``low``/``med``/``high``)."""
+        return {
+            level: self.segment(level, duration_s) for level in LEVEL_PERCENTILES
+        }

@@ -1,0 +1,73 @@
+"""Packet-size distributions.
+
+Edge-router traffic has a strongly trimodal size distribution (ACK-sized,
+~576-byte, and MTU-sized packets).  The classic "IMIX" mix captures it
+and is the default here; experiments can swap in any discrete mix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+from repro.errors import TrafficError
+
+
+class PacketSizeMix:
+    """A discrete packet-size distribution.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(size_bytes, weight)`` pairs; weights need not be
+        normalized.
+    """
+
+    def __init__(self, points: Sequence[Tuple[int, float]]):
+        if not points:
+            raise TrafficError("size mix needs at least one point")
+        total = float(sum(weight for _, weight in points))
+        if total <= 0:
+            raise TrafficError("size mix weights must sum to a positive value")
+        for size, weight in points:
+            if size <= 0:
+                raise TrafficError(f"packet size must be positive, got {size}")
+            if weight < 0:
+                raise TrafficError(f"weights must be non-negative, got {weight}")
+        self.points: List[Tuple[int, float]] = [
+            (int(size), weight / total) for size, weight in points
+        ]
+        self._cdf: List[float] = []
+        cumulative = 0.0
+        for _, probability in self.points:
+            cumulative += probability
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0
+
+    @property
+    def mean_bytes(self) -> float:
+        """Expected packet size in bytes."""
+        return sum(size * probability for size, probability in self.points)
+
+    @property
+    def mean_bits(self) -> float:
+        """Expected packet size in bits."""
+        return self.mean_bytes * 8
+
+    def sample(self, rng) -> int:
+        """Draw one packet size."""
+        return self.points[bisect_left(self._cdf, rng.random())][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{s}B:{p:.2f}" for s, p in self.points)
+        return f"<PacketSizeMix {body}>"
+
+
+#: The classic 7:4:1 IMIX (mean ~340 bytes due to integer ratio 7/12, 4/12, 1/12).
+IMIX_CLASSIC = PacketSizeMix([(40, 7), (576, 4), (1500, 1)])
+
+#: A heavier mix typical of content-bound edge links (mean ~735 bytes).
+IMIX_DOWNSTREAM = PacketSizeMix([(40, 3), (576, 3), (1500, 4)])
+
+#: Uniform small packets — the worst case for per-packet processing cost.
+ALL_MINIMUM = PacketSizeMix([(64, 1)])

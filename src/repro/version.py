@@ -1,0 +1,9 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "0.1.0"
+
+#: Short identifier of the reproduced paper.
+PAPER = (
+    "Assertion-Based Design Exploration of DVS in Network Processor "
+    "Architectures (DATE 2005)"
+)

@@ -1,0 +1,147 @@
+"""Tests for the analysis layer: surfaces, reports, comparisons."""
+
+import pytest
+
+from repro.analysis.compare import PolicyComparison, PolicyOutcome
+from repro.analysis.report import (
+    format_curve,
+    format_curve_family,
+    format_surface,
+    format_table,
+)
+from repro.analysis.surface import PercentileSurface
+from repro.errors import AnalysisError
+from repro.loc.analyzer import analyze_trace
+
+from conftest import make_event
+
+
+def dist_of(values, mode="below", low=0, high=10, step=1):
+    events = [make_event("e", cycle=v) for v in values]
+    return analyze_trace(f"cycle(e[i]) {mode} <{low}, {high}, {step}>", events)
+
+
+class TestPercentileSurface:
+    def _filled(self):
+        surface = PercentileSurface([800, 1000], [20_000, 40_000], level=0.8)
+        surface.add(800, 20_000, dist_of([1, 2, 3, 4, 5]))
+        surface.add(800, 40_000, dist_of([2, 3, 4, 5, 6]))
+        surface.add(1000, 20_000, dist_of([5, 6, 7, 8, 9]))
+        surface.add(1000, 40_000, dist_of([0, 1, 1, 2, 2]))
+        return surface
+
+    def test_grid_values(self):
+        surface = self._filled()
+        assert surface.is_complete()
+        grid = surface.grid()
+        # 80th percentile of {1..5} at integer edges is 4.
+        assert grid[0][0] == 4
+        assert grid[1][0] == 8
+
+    def test_argmin_argmax(self):
+        surface = self._filled()
+        row, col, value = surface.argmin()
+        assert (row, col, value) == (1000, 40_000, 2)
+        row, col, value = surface.argmax()
+        assert (row, col, value) == (1000, 20_000, 8)
+
+    def test_off_axis_rejected(self):
+        surface = PercentileSurface([1], [2])
+        with pytest.raises(AnalysisError):
+            surface.add(9, 2, dist_of([1]))
+
+    def test_missing_cell_rejected(self):
+        surface = PercentileSurface([1], [2])
+        assert not surface.is_complete()
+        with pytest.raises(AnalysisError):
+            surface.value_at(1, 2)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(AnalysisError):
+            PercentileSurface([1], [2], level=0.0)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            format_table(("a",), [(1, 2)])
+
+    def test_format_curve_thins_rows(self):
+        points = [(float(k), k / 100.0) for k in range(100)]
+        text = format_curve(points, max_rows=10)
+        assert len(text.splitlines()) == 12  # header + divider + 10 rows
+
+    def test_format_curve_family_shared_axis(self):
+        a = [(0.0, 0.1), (1.0, 0.5)]
+        b = [(0.0, 0.2), (1.0, 0.9)]
+        text = format_curve_family([("20K", a), ("noDVS", b)], x_label="W")
+        assert "20K" in text and "noDVS" in text
+
+    def test_format_curve_family_mismatched_axis_rejected(self):
+        a = [(0.0, 0.1)]
+        b = [(5.0, 0.2)]
+        with pytest.raises(AnalysisError):
+            format_curve_family([("a", a), ("b", b)])
+
+    def test_format_surface(self):
+        text = format_surface([1, 2], [10, 20], [[0.5, 0.6], [0.7, 0.8]],
+                              row_label="thr", col_label="win")
+        assert "thr \\ win" in text
+        assert "0.5" in text and "0.8" in text
+
+
+class TestPolicyComparison:
+    def _filled(self):
+        comparison = PolicyComparison(["ipfwdr"], ["low", "high"])
+        for level, base, edvs, tdvs in (
+            ("low", 1.5, 1.5, 0.8),
+            ("high", 1.3, 1.1, 1.0),
+        ):
+            comparison.add("ipfwdr", level,
+                           PolicyOutcome("none", base, 1000.0, 0.0))
+            comparison.add("ipfwdr", level,
+                           PolicyOutcome("edvs", edvs, 995.0, 0.005))
+            comparison.add("ipfwdr", level,
+                           PolicyOutcome("tdvs", tdvs, 970.0, 0.03))
+        return comparison
+
+    def test_power_saving(self):
+        comparison = self._filled()
+        assert comparison.power_saving("ipfwdr", "low", "tdvs") == pytest.approx(
+            1 - 0.8 / 1.5
+        )
+        assert comparison.power_saving("ipfwdr", "low", "edvs") == pytest.approx(0.0)
+
+    def test_savings_by_level_ordering(self):
+        comparison = self._filled()
+        tdvs = comparison.tdvs_savings_by_level("ipfwdr")
+        assert tdvs[0] > tdvs[1]  # TDVS savings shrink with traffic
+
+    def test_throughput_delta(self):
+        comparison = self._filled()
+        assert comparison.throughput_delta("ipfwdr", "low", "tdvs") == pytest.approx(
+            -0.03
+        )
+
+    def test_render_contains_all_cells(self):
+        text = self._filled().render()
+        assert "ipfwdr" in text
+        assert "low" in text and "high" in text
+        assert "%" in text
+
+    def test_missing_outcome_rejected(self):
+        comparison = PolicyComparison(["ipfwdr"], ["low"])
+        with pytest.raises(AnalysisError):
+            comparison.outcome("ipfwdr", "low", "none")
+
+    def test_unknown_policy_rejected(self):
+        comparison = PolicyComparison(["ipfwdr"], ["low"])
+        with pytest.raises(AnalysisError):
+            comparison.add("ipfwdr", "low", PolicyOutcome("magic", 1.0, 1.0, 0.0))

@@ -1,0 +1,293 @@
+"""Tests for the benchmark application models and their data structures."""
+
+import random
+
+import pytest
+
+from repro.apps.base import AppProfile, AppResources, build_app, chunks_of
+from repro.apps.ipfwdr import IpfwdrApp
+from repro.apps.md4 import Md4App
+from repro.apps.md4_core import md4_blocks_for, md4_hexdigest
+from repro.apps.nat import NatApp
+from repro.apps.nat_table import NatTable
+from repro.apps.routing import (
+    RoutingTrie,
+    brute_force_lpm,
+    random_routing_trie,
+    strides_for_depth,
+)
+from repro.apps.url import UrlApp
+from repro.errors import ConfigError, NpuError
+from repro.npu.steps import Compute, Drop, MemPost, MemRead, MemWrite, PutTx
+from repro.sim.rng import RngStreams
+
+from test_traffic import make_packet
+
+
+def fresh_resources():
+    return AppResources(num_ports=16, rng_streams=RngStreams(77))
+
+
+def step_summary(steps):
+    """Collect (kind, target) pairs and total compute instructions."""
+    kinds = []
+    instructions = 0
+    for step in steps:
+        if isinstance(step, Compute):
+            instructions += step.instructions
+            kinds.append("compute")
+        elif isinstance(step, MemRead):
+            kinds.append(f"read:{step.target}")
+        elif isinstance(step, MemWrite):
+            kinds.append(f"write:{step.target}")
+        elif isinstance(step, MemPost):
+            kinds.append(f"post:{step.target}")
+        elif isinstance(step, PutTx):
+            kinds.append("puttx")
+        elif isinstance(step, Drop):
+            kinds.append("drop")
+    return kinds, instructions
+
+
+class TestChunks:
+    def test_chunking(self):
+        assert chunks_of(1) == 1
+        assert chunks_of(64) == 1
+        assert chunks_of(65) == 2
+        assert chunks_of(1500) == 24
+
+
+class TestRoutingTrie:
+    def test_default_route(self):
+        trie = RoutingTrie(default_port=7)
+        port, depth = trie.lookup(0x01020304)
+        assert port == 7
+        assert depth == 1
+
+    def test_longest_prefix_wins(self):
+        trie = RoutingTrie(default_port=0)
+        trie.insert(0x0A000000, 8, 1)   # 10/8 -> 1
+        trie.insert(0x0A0B0000, 16, 2)  # 10.11/16 -> 2
+        assert trie.lookup(0x0A0B0C0D)[0] == 2
+        assert trie.lookup(0x0A990C0D)[0] == 1
+        assert trie.lookup(0x0B000000)[0] == 0
+
+    def test_against_brute_force(self):
+        rng = random.Random(3)
+        routes = []
+        trie = RoutingTrie(default_port=0)
+        for _ in range(200):
+            length = rng.choice([8, 12, 16, 20, 24])
+            prefix = rng.getrandbits(length) << (32 - length)
+            port = rng.randrange(16)
+            routes.append((prefix, length, port))
+            trie.insert(prefix, length, port)
+        for _ in range(300):
+            address = rng.getrandbits(32)
+            assert trie.lookup(address)[0] == brute_force_lpm(routes, address)
+
+    def test_random_trie_covers_space(self):
+        rng = random.Random(4)
+        trie = random_routing_trie(rng, num_prefixes=64)
+        ports = {trie.lookup(rng.getrandbits(32))[0] for _ in range(400)}
+        assert len(ports) >= 12  # destinations spread over most ports
+
+    def test_validation(self):
+        trie = RoutingTrie()
+        with pytest.raises(NpuError):
+            trie.insert(0, 40, 1)
+        with pytest.raises(NpuError):
+            trie.insert(2**33, 8, 1)
+
+    def test_strides_for_depth(self):
+        assert strides_for_depth(1) == 1
+        assert strides_for_depth(9) == 1 + 1
+        assert strides_for_depth(25) == 4
+        assert strides_for_depth(33) == 5  # capped
+
+
+class TestNatTable:
+    def test_translation_stable_per_flow(self):
+        table = NatTable()
+        flow = (1, 2, 3, 4, 6)
+        first = table.translate(flow)
+        second = table.translate(flow)
+        assert first == second
+        assert table.hits == 1
+        assert table.misses == 1
+
+    def test_distinct_flows_get_distinct_ports(self):
+        table = NatTable()
+        a = table.translate((1, 2, 3, 4, 6))
+        b = table.translate((5, 6, 7, 8, 6))
+        assert a[1] != b[1]
+
+    def test_exhaustion(self):
+        table = NatTable(port_count=2)
+        table.translate((1, 1, 1, 1, 6))
+        table.translate((2, 2, 2, 2, 6))
+        assert table.translate((3, 3, 3, 3, 6)) is None
+        assert table.exhaustions == 1
+
+
+class TestMd4Core:
+    def test_rfc1320_vectors(self):
+        vectors = {
+            b"": "31d6cfe0d16ae931b73c59d7e0c089c0",
+            b"a": "bde52cb31de33e46245e05fbdbd6fb24",
+            b"abc": "a448017aaf21d8525fc10ae87aa6729d",
+            b"message digest": "d9130a8164549fe818874806e1c7014b",
+            b"abcdefghijklmnopqrstuvwxyz": "d79e1c308aa5bbcdeea8ed63df412da9",
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":
+                "043f8582f241db351ce627e153e7f0e4",
+            b"1234567890" * 8:
+                "e33b4ddc9c38f2199c3e7b164fcc0536",
+        }
+        for message, expected in vectors.items():
+            assert md4_hexdigest(message) == expected
+
+    def test_blocks_for(self):
+        assert md4_blocks_for(0) == 1
+        assert md4_blocks_for(55) == 1
+        assert md4_blocks_for(56) == 2  # padding spills
+        assert md4_blocks_for(119) == 2
+        assert md4_blocks_for(120) == 3
+
+
+class TestAppFactory:
+    def test_builds_all_benchmarks(self):
+        for name, cls in (
+            ("ipfwdr", IpfwdrApp),
+            ("url", UrlApp),
+            ("nat", NatApp),
+            ("md4", Md4App),
+        ):
+            app = build_app(name, fresh_resources())
+            assert isinstance(app, cls)
+            assert app.name == name
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(NpuError):
+            build_app("dns", fresh_resources())
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            AppProfile(rx_header_instr=0).validate()
+
+
+class TestIpfwdr:
+    def test_rx_steps_shape(self):
+        app = build_app("ipfwdr", fresh_resources())
+        packet = make_packet(size=320)
+        kinds, instructions = step_summary(app.rx_steps(packet))
+        assert kinds.count("write:sdram") == 5  # 320 bytes = 5 chunks
+        assert "read:sdram" in kinds            # output-port info
+        assert "write:scratch" in kinds
+        assert kinds[-1] == "puttx"
+        assert kinds.count("read:sram") >= 1    # trie walk
+        assert instructions > 300
+        assert packet.output_port is not None
+
+    def test_tx_steps_posted_fetch(self):
+        app = build_app("ipfwdr", fresh_resources())
+        packet = make_packet(size=320)
+        kinds, _ = step_summary(app.tx_steps(packet))
+        assert kinds.count("post:sdram") == 5
+        assert kinds[0] == "read:scratch"
+
+    def test_lookup_statistics(self):
+        app = build_app("ipfwdr", fresh_resources())
+        for k in range(10):
+            list(app.rx_steps(make_packet(seq=k, dst_ip=k * 7919)))
+        assert app.lookups == 10
+        assert app.mean_lookup_depth >= 1.0
+
+    def test_bigger_packets_cost_more(self):
+        app = build_app("ipfwdr", fresh_resources())
+        small = app.expected_rx_instructions(make_packet(size=64, dst_ip=5))
+        large = app.expected_rx_instructions(make_packet(size=1500, dst_ip=5))
+        assert large > small
+
+
+class TestUrl:
+    def test_payload_rescanned_from_sdram(self):
+        app = build_app("url", fresh_resources())
+        packet = make_packet(size=320)
+        kinds, _ = step_summary(app.rx_steps(packet))
+        # Stored once (5 chunks) and payload (300 B -> 5 chunks) re-read.
+        assert kinds.count("write:sdram") == 5
+        assert kinds.count("read:sdram") == 5 + 1  # payload + port info
+        assert kinds.count("read:sram") == 3  # hash probes
+
+    def test_most_memory_intensive(self):
+        resources = fresh_resources()
+        packet = make_packet(size=576)
+        counts = {}
+        for name in ("ipfwdr", "url", "nat"):
+            app = build_app(name, AppResources(num_ports=16,
+                                               rng_streams=RngStreams(77)))
+            kinds, _ = step_summary(app.rx_steps(packet))
+            counts[name] = sum(1 for k in kinds if k.startswith(("read:", "write:")))
+        assert counts["url"] > counts["ipfwdr"] > counts["nat"]
+
+
+class TestNat:
+    def test_single_sram_lookup_known_flow(self):
+        app = build_app("nat", fresh_resources())
+        packet = make_packet()
+        list(app.rx_steps(packet))          # first packet installs the entry
+        kinds, _ = step_summary(app.rx_steps(make_packet(seq=1)))
+        assert kinds.count("read:sram") == 1
+        assert kinds.count("write:sram") == 0  # known flow: no install
+        assert kinds.count("write:sdram") == 0  # cut-through: no body store
+
+    def test_new_flow_installs_entry(self):
+        app = build_app("nat", fresh_resources())
+        kinds, _ = step_summary(app.rx_steps(make_packet()))
+        assert kinds.count("write:sram") == 1
+
+    def test_compute_dominates(self):
+        app = build_app("nat", fresh_resources())
+        _, instructions = step_summary(app.rx_steps(make_packet()))
+        assert instructions > 1500
+
+    def test_port_exhaustion_drops(self):
+        resources = fresh_resources()
+        resources.nat_table = NatTable(port_count=1)
+        app = NatApp(resources)
+        list(app.rx_steps(make_packet(flow_id=0)))
+        kinds, _ = step_summary(app.rx_steps(make_packet(seq=1, flow_id=1,
+                                                         src_ip=9, dst_ip=9)))
+        assert "drop" in kinds
+        assert app.dropped_exhausted == 1
+
+    def test_tx_has_no_sdram(self):
+        app = build_app("nat", fresh_resources())
+        kinds, _ = step_summary(app.tx_steps(make_packet()))
+        assert not any("sdram" in k for k in kinds)
+
+
+class TestMd4:
+    def test_block_loop_shape(self):
+        app = build_app("md4", fresh_resources())
+        packet = make_packet(size=320)  # payload 300 B -> 5 MD4 blocks
+        kinds, _ = step_summary(app.rx_steps(packet))
+        blocks = md4_blocks_for(300)
+        assert kinds.count("read:sdram") == blocks
+        assert kinds.count("write:sram") == blocks + 1  # + digest
+        assert kinds.count("read:sram") == blocks
+
+    def test_real_digest_mode(self):
+        app = Md4App(fresh_resources(), compute_real_digests=True)
+        packet = make_packet(size=128)
+        list(app.rx_steps(packet))
+        assert app.last_digest is not None
+        from repro.apps.md4_core import md4_digest
+
+        assert app.last_digest == md4_digest(packet.payload())
+
+    def test_compute_scales_with_payload(self):
+        app = build_app("md4", fresh_resources())
+        small = app.expected_rx_instructions(make_packet(size=64))
+        large = app.expected_rx_instructions(make_packet(size=1500))
+        assert large > 2 * small

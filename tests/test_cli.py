@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig06" in out
+    assert "fig11" in out
+
+
+def test_run_static_experiment(capsys):
+    assert main(["run", "fig05"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "1000" in out
+
+
+def test_run_writes_file(tmp_path, capsys):
+    out_path = tmp_path / "fig03.txt"
+    assert main(["run", "fig03", "--out", str(out_path)]) == 0
+    content = out_path.read_text()
+    assert "Annotation type" in content
+
+
+def test_simulate_command(capsys):
+    assert main([
+        "simulate", "--benchmark", "nat", "--load", "500",
+        "--cycles", "120000", "--process", "cbr",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mean power" in out
+    assert "ME0" in out
+
+
+def test_simulate_with_policy(capsys):
+    assert main([
+        "simulate", "--policy", "tdvs", "--window", "20000",
+        "--threshold", "1200", "--load", "300", "--cycles", "200000",
+        "--process", "cbr",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "VF transitions" in out
+
+
+def test_loc_gen_to_stdout(capsys):
+    assert main(["loc-gen", "cycle(deq[i]) - cycle(enq[i]) <= 50"]) == 0
+    out = capsys.readouterr().out
+    assert "Auto-generated LOC analyzer" in out
+    assert "def analyze_lines" in out
+
+
+def test_loc_gen_to_file(tmp_path, capsys):
+    path = tmp_path / "analyzer.py"
+    assert main(["loc-gen", "cycle(e[i]) below <0, 5, 1>", "--out", str(path)]) == 0
+    assert "def analyze_lines" in path.read_text()
+
+
+def test_bad_formula_raises():
+    with pytest.raises(Exception):
+        main(["loc-gen", "not a formula @@"])
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(Exception):
+        main(["run", "fig99"])

@@ -1,0 +1,127 @@
+"""Tests for clock domains with runtime frequency changes."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import ClockDomain, FixedClock
+from repro.sim.kernel import Simulator
+from repro.units import mhz
+
+
+def test_initial_frequency():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    assert clock.freq_hz == mhz(600)
+    assert clock.period_ps == round(1e12 / 600e6)
+
+
+def test_cycles_accumulate_at_fixed_frequency():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(500))  # 2 ns period
+    assert clock.cycles_at(0) == 0
+    assert clock.cycles_at(2_000) == pytest.approx(1.0)
+    assert clock.cycles_at(20_000) == pytest.approx(10.0)
+
+
+def test_cycles_continuous_across_frequency_change():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    sim.run(until_ps=1_000_000)  # 1 us at 600 MHz = 600 cycles
+    before = clock.cycles_now
+    clock.set_frequency(mhz(400))
+    sim.run(until_ps=2_000_000)  # +1 us at 400 MHz = +400 cycles
+    after = clock.cycles_now
+    assert before == pytest.approx(600.0)
+    assert after == pytest.approx(1000.0)
+
+
+def test_cycles_at_queries_historical_segments():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    sim.run(until_ps=1_000_000)
+    clock.set_frequency(mhz(400))
+    sim.run(until_ps=3_000_000)
+    # Query inside the first segment.
+    assert clock.cycles_at(500_000) == pytest.approx(300.0)
+    # Query inside the second segment.
+    assert clock.cycles_at(2_000_000) == pytest.approx(1000.0)
+
+
+def test_delay_for_cycles_uses_current_rate():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(500))
+    assert clock.delay_for_cycles(10) == 20_000
+    clock.set_frequency(mhz(250))
+    assert clock.delay_for_cycles(10) == 40_000
+
+
+def test_time_of_cycle_inverts_cycles_at():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    sim.run(until_ps=1_000_000)
+    clock.set_frequency(mhz(450))
+    sim.run(until_ps=2_000_000)
+    for time_ps in (0, 400_000, 1_000_000, 1_500_000, 2_000_000):
+        cycles = clock.cycles_at(time_ps)
+        assert clock.time_of_cycle(cycles) == pytest.approx(time_ps, abs=2)
+
+
+def test_set_same_frequency_is_noop():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    clock.set_frequency(mhz(600))
+    assert clock.freq_changes == 0
+
+
+def test_freq_changes_counted():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    sim.run(until_ps=1000)
+    clock.set_frequency(mhz(550))
+    sim.run(until_ps=2000)
+    clock.set_frequency(mhz(500))
+    assert clock.freq_changes == 2
+    assert len(clock.history()) == 3
+
+
+def test_zero_length_segment_replaced():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    sim.run(until_ps=1000)
+    clock.set_frequency(mhz(550))
+    clock.set_frequency(mhz(500))  # same instant: replaces, not stacks
+    assert len(clock.history()) == 2
+    assert clock.freq_hz == mhz(500)
+
+
+def test_invalid_frequency_rejected():
+    sim = Simulator()
+    with pytest.raises(ClockError):
+        ClockDomain(sim, 0)
+    clock = ClockDomain(sim, mhz(600))
+    with pytest.raises(ClockError):
+        clock.set_frequency(-1)
+
+
+def test_query_before_creation_rejected():
+    sim = Simulator()
+    sim.run(until_ps=1000)
+    clock = ClockDomain(sim, mhz(600))
+    with pytest.raises(ClockError):
+        clock.cycles_at(500)
+
+
+def test_negative_cycle_arguments_rejected():
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600))
+    with pytest.raises(ClockError):
+        clock.delay_for_cycles(-1)
+    with pytest.raises(ClockError):
+        clock.time_of_cycle(-1)
+
+
+def test_fixed_clock_rejects_frequency_change():
+    sim = Simulator()
+    clock = FixedClock(sim, mhz(600))
+    with pytest.raises(ClockError):
+        clock.set_frequency(mhz(400))

@@ -1,0 +1,272 @@
+"""Tests for the memory store, ISA, assembler and interpreter."""
+
+import pytest
+
+from repro.errors import AssemblerError, IsaError, MemoryModelError
+from repro.npu.assembler import assemble
+from repro.npu.interpreter import Interpreter
+from repro.npu.isa import Instruction, Program, validate_instruction
+from repro.npu.memstore import MemStore
+from repro.npu.steps import Compute, Drop, MemRead, MemWrite, PutTx
+
+from test_traffic import make_packet
+
+
+def stores():
+    return {
+        "sram": MemStore("sram", 1 << 20),
+        "sdram": MemStore("sdram", 1 << 24),
+        "scratch": MemStore("scratch", 1 << 14),
+    }
+
+
+def run_program(source, packet=None, mem=None):
+    """Assemble and fully execute a program; return (steps, stores, pkt)."""
+    program = assemble(source)
+    mem = mem or stores()
+    interpreter = Interpreter(program, mem)
+    packet = packet or make_packet()
+    steps = list(interpreter.steps_for_packet(packet))
+    return steps, mem, packet
+
+
+class TestMemStore:
+    def test_word_round_trip(self):
+        store = MemStore("m", 1024)
+        store.write_word(8, 0xDEADBEEF)
+        assert store.read_word(8) == 0xDEADBEEF
+        assert store.read_word(12) == 0  # unwritten reads zero
+
+    def test_unaligned_and_oob_rejected(self):
+        store = MemStore("m", 64)
+        with pytest.raises(MemoryModelError):
+            store.read_word(2)
+        with pytest.raises(MemoryModelError):
+            store.write_word(64, 1)
+
+    def test_byte_access_round_trip(self):
+        store = MemStore("m", 1024)
+        data = bytes(range(13))
+        store.write_bytes(3, data)
+        assert store.read_bytes(3, 13) == data
+
+    def test_bytes_and_words_consistent(self):
+        store = MemStore("m", 64)
+        store.write_bytes(0, (0x04030201).to_bytes(4, "little"))
+        assert store.read_word(0) == 0x04030201
+
+
+class TestIsaValidation:
+    def test_unknown_opcode(self):
+        with pytest.raises(IsaError):
+            validate_instruction(Instruction("jmp", (0,)))
+
+    def test_bad_register(self):
+        with pytest.raises(IsaError):
+            validate_instruction(Instruction("mov", (99, 0)))
+
+    def test_bad_alu_subop(self):
+        with pytest.raises(IsaError):
+            validate_instruction(Instruction("alu", ("rot", 0, 1, 2)))
+
+    def test_branch_target_bounds(self):
+        instrs = [Instruction("br", (5,)), Instruction("done", ())]
+        with pytest.raises(IsaError):
+            Program("p", instrs)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(IsaError):
+            Program("p", [])
+
+    def test_disassemble_lists_labels(self):
+        program = assemble("start:\n  nop\n  br start\n  done")
+        text = program.disassemble()
+        assert "start:" in text
+        assert "nop" in text
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        program = assemble("""
+            li r1, 3
+        loop:
+            sub r1, r1, 1
+            bne r1, zero, loop
+            done
+        """)
+        assert program.labels["loop"] == 1
+        assert program[2].opcode == "bcond"
+        assert program[2].operands[-1] == 1
+
+    def test_equ_constants(self):
+        program = assemble("""
+            .equ BASE, 0x100
+            .equ NEXT, 0x104
+            li r1, BASE
+            li r2, NEXT
+            done
+        """)
+        assert program[0].operands[1] == 0x100
+        assert program[1].operands[1] == 0x104
+
+    def test_mnemonic_expansion(self):
+        program = assemble("""
+            add r1, r2, r3
+            add r1, r2, 7
+            beq r1, zero, end
+        end:
+            done
+        """)
+        assert program[0].opcode == "alu"
+        assert program[1].opcode == "alui"
+        assert program[2].opcode == "bcond"
+
+    def test_memory_aliases(self):
+        program = assemble("""
+            sram_rd r1, r2, 4
+            sdram_wr r2, r1, 64
+            scratch_wr r2, r1, 8
+            sdram_post r2, 64
+            done
+        """)
+        assert program[0].opcode == "mem_rd" and program[0].operands[0] == "sram"
+        assert program[1].opcode == "mem_wr" and program[1].operands[0] == "sdram"
+        assert program[3].opcode == "mem_post"
+
+    def test_comments_and_name(self):
+        program = assemble("""
+            .name demo
+            nop  ; trailing comment
+            # whole-line comment
+            done
+        """)
+        assert program.name == "demo"
+        assert len(program) == 2
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nbogus r1\ndone")
+        assert "line 2" in str(excinfo.value)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\ndone")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov r1, r99\ndone")
+
+
+class TestInterpreter:
+    def test_arithmetic_loop(self):
+        # Sum 1..5 into r2, store to scratch, check the value.
+        steps, mem, _ = run_program("""
+            li r1, 5
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            sub r1, r1, 1
+            bne r1, zero, loop
+            li r3, 0x40
+            scratch_wr r3, r2, 4
+            done
+        """)
+        assert mem["scratch"].read_word(0x40) == 15
+
+    def test_one_compute_per_instruction(self):
+        steps, _, _ = run_program("nop\nnop\nnop\ndone")
+        computes = [s for s in steps if isinstance(s, Compute)]
+        assert len(computes) == 4
+        assert all(c.instructions == 1 for c in computes)
+
+    def test_memory_steps_interleave_with_data(self):
+        steps, mem, _ = run_program("""
+            li r1, 0x10
+            li r2, 77
+            sram_wr r1, r2, 4
+            sram_rd r3, r1, 4
+            scratch_wr r1, r3, 4
+            done
+        """)
+        assert any(isinstance(s, MemWrite) and s.target == "sram" for s in steps)
+        assert any(isinstance(s, MemRead) and s.target == "sram" for s in steps)
+        assert mem["scratch"].read_word(0x10) == 77
+
+    def test_packet_registers_visible(self):
+        packet = make_packet(size=500, input_port=9, flow_id=42)
+        steps, mem, _ = run_program("""
+            li r1, 0
+            scratch_wr r1, pkt_size, 4
+            li r1, 4
+            scratch_wr r1, pkt_port, 4
+            li r1, 8
+            scratch_wr r1, pkt_flow, 4
+            done
+        """, packet=packet)
+        assert mem["scratch"].read_word(0) == 500
+        assert mem["scratch"].read_word(4) == 9
+        assert mem["scratch"].read_word(8) == 42
+
+    def test_zero_register_ignores_writes(self):
+        steps, mem, _ = run_program("""
+            li r1, 5
+            mov zero, r1
+            li r2, 0x20
+            scratch_wr r2, zero, 4
+            done
+        """)
+        assert mem["scratch"].read_word(0x20) == 0
+
+    def test_set_out_port_and_puttx(self):
+        packet = make_packet()
+        steps, _, packet = run_program("""
+            li r1, 11
+            set_out_port r1
+            puttx
+            done
+        """, packet=packet)
+        assert packet.output_port == 11
+        assert any(isinstance(s, PutTx) for s in steps)
+
+    def test_drop_ends_program(self):
+        steps, _, _ = run_program("drop 3\nnop\ndone")
+        drops = [s for s in steps if isinstance(s, Drop)]
+        assert len(drops) == 1
+        assert drops[0].reason == "uc-3"
+        # The nop after drop never runs: only 1 compute (the drop itself).
+        assert sum(1 for s in steps if isinstance(s, Compute)) == 1
+
+    def test_runaway_loop_guard(self):
+        program = assemble("loop:\nbr loop\ndone")
+        interpreter = Interpreter(program, stores(), max_instructions=500)
+        with pytest.raises(IsaError):
+            list(interpreter.steps_for_packet(make_packet()))
+
+    def test_fall_off_end_rejected(self):
+        program = assemble("nop\nnop")
+        interpreter = Interpreter(program, stores())
+        with pytest.raises(IsaError):
+            list(interpreter.steps_for_packet(make_packet()))
+
+    def test_hash_deterministic_and_mixing(self):
+        steps, mem, _ = run_program("""
+            hash r1, pkt_src, pkt_dst
+            hash r2, pkt_src, pkt_dst
+            li r3, 0
+            scratch_wr r3, r1, 4
+            li r3, 4
+            scratch_wr r3, r2, 4
+            done
+        """)
+        a = mem["scratch"].read_word(0)
+        b = mem["scratch"].read_word(4)
+        assert a == b
+        assert a != 0
+
+    def test_instruction_counters(self):
+        program = assemble("nop\nnop\ndone")
+        interpreter = Interpreter(program, stores())
+        list(interpreter.steps_for_packet(make_packet()))
+        list(interpreter.steps_for_packet(make_packet(seq=1)))
+        assert interpreter.packets_run == 2
+        assert interpreter.instructions_retired == 6

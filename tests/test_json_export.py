@@ -1,0 +1,35 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+from repro.cli import main
+from repro.experiments import run_experiment
+from repro.experiments.registry import ExperimentResult
+
+
+def test_tuple_keys_flatten():
+    result = ExperimentResult(
+        "x", "text", data={"grid": {(1400.0, 20_000): 0.9, (None, None): 1.2}}
+    )
+    data = result.json_data()
+    assert data == {"grid": {"1400/20000": 0.9, "noDVS": 1.2}}
+
+
+def test_nested_tuples_become_lists():
+    result = ExperimentResult("x", "t", data={"argmin": (1400.0, 20_000, 0.99)})
+    parsed = json.loads(result.to_json())
+    assert parsed["data"]["argmin"] == [1400.0, 20_000, 0.99]
+    assert parsed["experiment_id"] == "x"
+
+
+def test_real_experiment_round_trips():
+    result = run_experiment("fig05", profile="bench")
+    parsed = json.loads(result.to_json())
+    assert len(parsed["data"]["rows"]) == 5
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    out = tmp_path / "fig05.json"
+    assert main(["run", "fig05", "--json", "--out", str(out)]) == 0
+    parsed = json.loads(out.read_text())
+    assert parsed["experiment_id"] == "fig05"

@@ -1,0 +1,159 @@
+"""Tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now_ps == 0
+    assert sim.pending_events == 0
+    assert sim.events_executed == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(300, order.append, "c")
+    sim.schedule(100, order.append, "a")
+    sim.schedule(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now_ps == 300
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(50, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1234, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+    assert sim.now_ps == 1234
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(100, fired.append, "x")
+    sim.schedule(50, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(500, fired.append, "b")
+    sim.run(until_ps=200)
+    assert fired == ["a"]
+    assert sim.now_ps == 200
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now_ps == 500
+
+
+def test_run_until_advances_time_even_without_events():
+    sim = Simulator()
+    sim.run(until_ps=9999)
+    assert sim.now_ps == 9999
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now_ps == 30
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, sim.stop)
+    sim.schedule(30, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    # A later run picks up where we left off.
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == [1, 2]
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    event.cancel()
+    assert sim.peek_next_time() == 20
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_event_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda a, b, c: seen.append((a, b, c)), 1, "x", None)
+    sim.run()
+    assert seen == [(1, "x", None)]

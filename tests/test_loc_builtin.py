@@ -1,0 +1,50 @@
+"""Tests for the paper's builtin LOC formulas."""
+
+import pytest
+
+from repro.loc.analyzer import analyze_trace
+from repro.loc.builtin import (
+    forwarding_latency_formula,
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+
+from conftest import forward_series
+
+
+def test_formula_1_defaults():
+    formula = forwarding_latency_formula()
+    assert formula.mode == "in"
+    assert formula.triple == (40.0, 80.0, 5.0)
+    assert formula.max_relative_offset() == 100
+
+
+def test_formula_2_computes_watts():
+    # time in us, energy in uJ: 2 uJ per us -> 2 W.
+    events = forward_series(120, dt_us=1.0, de_uj=2.0)
+    result = analyze_trace(power_distribution_formula(), events)
+    assert result.mean == pytest.approx(2.0)
+    assert result.mode == "below"
+    assert result.triple_check() if hasattr(result, "triple_check") else True
+
+
+def test_formula_3_computes_mbps():
+    # 1000 bits per 1 us -> 1000 Mbps exactly.
+    events = forward_series(120, dt_us=1.0, bits=1000)
+    result = analyze_trace(throughput_distribution_formula(), events)
+    assert result.mean == pytest.approx(1000.0)
+    assert result.mode == "above"
+
+
+def test_span_override():
+    formula = power_distribution_formula(span=10)
+    assert formula.max_relative_offset() == 10
+    events = forward_series(30, dt_us=2.0, de_uj=3.0)  # 1.5 W
+    result = analyze_trace(formula, events)
+    assert result.total == 20
+    assert result.mean == pytest.approx(1.5)
+
+
+def test_triple_overrides():
+    formula = throughput_distribution_formula(low=0, high=100, step=10)
+    assert formula.triple == (0.0, 100.0, 10.0)

@@ -1,0 +1,129 @@
+"""Tests for streaming LOC instance evaluation."""
+
+import math
+
+import pytest
+
+from repro.loc.evaluator import StreamingEvaluator, evaluate_over
+from repro.loc.parser import parse_formula
+
+from conftest import forward_series, make_event
+
+
+def test_simple_single_event_formula():
+    formula = parse_formula("time(forward[i+1]) - time(forward[i]) <= 2")
+    events = forward_series(5, dt_us=1.0)
+    results = evaluate_over(formula, events)
+    # 5 events -> instances 0..3 (each needs i and i+1).
+    assert [i for i, _ in results] == [0, 1, 2, 3]
+    for _, (lhs, rhs) in results:
+        assert lhs == pytest.approx(1.0)
+        assert rhs == 2.0
+
+
+def test_instances_stream_incrementally():
+    formula = parse_formula("time(forward[i+2]) - time(forward[i]) <= 100")
+    evaluator = StreamingEvaluator(formula)
+    events = forward_series(4)
+    assert list(evaluator.feed(events[0])) == []
+    assert list(evaluator.feed(events[1])) == []
+    first = list(evaluator.feed(events[2]))
+    assert [i for i, _ in first] == [0]
+    second = list(evaluator.feed(events[3]))
+    assert [i for i, _ in second] == [1]
+
+
+def test_multi_event_formula():
+    formula = parse_formula("cycle(deq[i]) - cycle(enq[i]) <= 50")
+    events = []
+    for k in range(3):
+        events.append(make_event("enq", cycle=100 * k))
+        events.append(make_event("deq", cycle=100 * k + 30))
+    results = evaluate_over(formula, events)
+    assert len(results) == 3
+    for _, (lhs, _) in results:
+        assert lhs == 30
+
+
+def test_interleaving_does_not_matter_for_instance_values():
+    formula = parse_formula("cycle(deq[i]) - cycle(enq[i]) <= 50")
+    enqs = [make_event("enq", cycle=10 * k) for k in range(4)]
+    deqs = [make_event("deq", cycle=10 * k + 5) for k in range(4)]
+    grouped = evaluate_over(formula, enqs + deqs)
+    interleaved = evaluate_over(
+        formula, [e for pair in zip(enqs, deqs) for e in pair]
+    )
+    assert grouped == interleaved
+
+
+def test_negative_index_instances_skipped():
+    formula = parse_formula("time(forward[i]) - time(forward[i-2]) <= 100")
+    events = forward_series(5, dt_us=1.0)
+    results = evaluate_over(formula, events)
+    # Instances 0 and 1 reference negative indices: skipped.
+    assert [i for i, _ in results] == [2, 3, 4]
+    for _, (lhs, _) in results:
+        assert lhs == pytest.approx(2.0)
+
+
+def test_absolute_index_reference():
+    formula = parse_formula("time(forward[i]) - time(forward[0]) <= 100")
+    events = forward_series(4, dt_us=2.0)
+    results = evaluate_over(formula, events)
+    assert [round(lhs) for _, (lhs, _) in results] == [0, 2, 4, 6]
+
+
+def test_division_by_zero_yields_nan():
+    formula = parse_formula(
+        "energy(forward[i+1]) / (time(forward[i+1]) - time(forward[i])) <= 1"
+    )
+    events = [
+        make_event("forward", time=1.0, energy=5.0),
+        make_event("forward", time=1.0, energy=6.0),  # zero dt
+    ]
+    evaluator = StreamingEvaluator(formula)
+    out = []
+    for event in events:
+        out.extend(evaluator.feed(event))
+    assert len(out) == 1
+    assert math.isnan(out[0][1][0])
+    assert evaluator.undefined_instances == 1
+
+
+def test_unreferenced_events_ignored():
+    formula = parse_formula("time(forward[i+1]) - time(forward[i]) <= 5")
+    events = [
+        make_event("forward", time=0.0),
+        make_event("fifo", time=0.5),
+        make_event("m2_pipeline", time=0.7),
+        make_event("forward", time=1.0),
+    ]
+    results = evaluate_over(formula, events)
+    assert len(results) == 1
+
+
+def test_window_eviction_bounds_memory():
+    formula = parse_formula("time(forward[i+3]) - time(forward[i]) <= 100")
+    evaluator = StreamingEvaluator(formula)
+    for event in forward_series(500):
+        for _ in evaluator.feed(event):
+            pass
+    series = evaluator._series["forward"]
+    # Window retains at most max_offset + 1 rows (plus slack of 1).
+    assert len(series.values) <= 5
+
+
+def test_arithmetic_evaluation():
+    formula = parse_formula("(time(forward[i]) * 2 + 1) / 2 - 0.5 <= 100")
+    events = forward_series(3, dt_us=3.0)
+    results = evaluate_over(formula, events)
+    assert [lhs for _, (lhs, _) in results] == pytest.approx([0.0, 3.0, 6.0])
+
+
+def test_instances_evaluated_counter():
+    formula = parse_formula("time(forward[i+1]) - time(forward[i]) <= 100")
+    evaluator = StreamingEvaluator(formula)
+    for event in forward_series(10):
+        for _ in evaluator.feed(event):
+            pass
+    assert evaluator.instances_evaluated == 9

@@ -1,0 +1,80 @@
+"""Tests for the LOC tokenizer."""
+
+import pytest
+
+from repro.errors import LocSyntaxError
+from repro.loc.lexer import tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def test_simple_checker_formula():
+    assert kinds("cycle(deq[i]) <= 50") == [
+        "IDENT",
+        "LPAREN",
+        "IDENT",
+        "LBRACKET",
+        "IDENT",
+        "RBRACKET",
+        "RPAREN",
+        "LE",
+        "NUMBER",
+        "EOF",
+    ]
+
+
+def test_numbers():
+    tokens = tokenize("1 2.5 0.01 1e6 2.5e-3 .5")
+    values = [t.text for t in tokens if t.kind == "NUMBER"]
+    assert values == ["1", "2.5", "0.01", "1e6", "2.5e-3", ".5"]
+
+
+def test_number_not_greedy_over_exponent_without_digits():
+    tokens = tokenize("2e")  # not an exponent: number then ident
+    assert [t.kind for t in tokens] == ["NUMBER", "IDENT", "EOF"]
+
+
+def test_distribution_keywords_case_insensitive():
+    assert "KW_BELOW" in kinds("x(f[i]) BELOW <1, 2, 0.5>")
+    assert "KW_IN" in kinds("x(f[i]) in <1, 2, 1>")
+    assert "KW_ABOVE" in kinds("x(f[i]) Above <1, 2, 1>")
+
+
+def test_relational_operators():
+    assert kinds("a(b[i]) >= 1")[-3] == "GE"
+    assert kinds("a(b[i]) != 1")[-3] == "NE"
+    assert kinds("a(b[i]) == 1")[-3] == "EQ"
+    assert kinds("a(b[i]) = 1")[-3] == "EQ"  # single '=' tolerated
+
+
+def test_unicode_normalization():
+    # The paper's typeset operators should tokenize.
+    assert "LE" in kinds("a(b[i]) ≤ 5")
+    assert "MINUS" in kinds("a(b[i]) − 1 <= 5")
+    tokens = kinds("a(b[i]) in ⟨1, 2, 0.5⟩")
+    assert "LT" in tokens and "GT" in tokens
+
+
+def test_positions_recorded():
+    tokens = tokenize("abc + 1")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 4
+    assert tokens[2].position == 6
+
+
+def test_unexpected_character():
+    with pytest.raises(LocSyntaxError):
+        tokenize("a(b[i]) $ 1")
+
+
+def test_identifier_with_underscores_and_digits():
+    tokens = tokenize("total_bit(m2_pipeline[i])")
+    assert tokens[0].text == "total_bit"
+    assert tokens[2].text == "m2_pipeline"
+
+
+def test_empty_input_gives_only_eof():
+    assert kinds("") == ["EOF"]
+    assert kinds("   \t\n") == ["EOF"]

@@ -1,0 +1,132 @@
+"""Tests for the LOC parser."""
+
+import pytest
+
+from repro.errors import LocSyntaxError
+from repro.loc.ast_nodes import (
+    AnnotationRef,
+    BinaryOp,
+    CheckerFormula,
+    DistributionFormula,
+    Negate,
+    Number,
+)
+from repro.loc.parser import parse_formula
+
+
+def test_checker_formula_structure():
+    formula = parse_formula("cycle(deq[i]) - cycle(enq[i]) <= 50")
+    assert isinstance(formula, CheckerFormula)
+    assert formula.op == "<="
+    assert isinstance(formula.lhs, BinaryOp)
+    assert isinstance(formula.rhs, Number)
+    assert formula.rhs.value == 50.0
+    assert formula.events() == frozenset({"deq", "enq"})
+
+
+def test_distribution_formula_structure():
+    formula = parse_formula(
+        "time(forward[i+100]) - time(forward[i]) in <40, 80, 5>"
+    )
+    assert isinstance(formula, DistributionFormula)
+    assert formula.mode == "in"
+    assert formula.triple == (40.0, 80.0, 5.0)
+
+
+def test_paper_formula_2_parses():
+    formula = parse_formula(
+        "(energy(forward[i+100]) - energy(forward[i])) / "
+        "(time(forward[i+100]) - time(forward[i])) below <0.5, 2.25, 0.01>"
+    )
+    assert isinstance(formula, DistributionFormula)
+    assert formula.mode == "below"
+    assert formula.max_relative_offset() == 100
+
+
+def test_index_expressions():
+    ref = parse_formula("cycle(e[i-3]) <= 1").lhs
+    assert isinstance(ref, AnnotationRef)
+    assert ref.index.offset == -3
+    assert not ref.index.absolute
+
+    ref = parse_formula("cycle(e[7]) <= 1").lhs
+    assert ref.index.absolute
+    assert ref.index.offset == 7
+    assert ref.index.resolve(123) == 7
+
+
+def test_index_variable_must_be_i():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[j]) <= 1")
+
+
+def test_fractional_index_offset_rejected():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i+1.5]) <= 1")
+
+
+def test_precedence_multiplication_over_addition():
+    formula = parse_formula("cycle(e[i]) + 2 * 3 <= 10")
+    lhs = formula.lhs
+    assert isinstance(lhs, BinaryOp) and lhs.op == "+"
+    assert isinstance(lhs.right, BinaryOp) and lhs.right.op == "*"
+
+
+def test_parentheses_override_precedence():
+    formula = parse_formula("(cycle(e[i]) + 2) * 3 <= 10")
+    lhs = formula.lhs
+    assert isinstance(lhs, BinaryOp) and lhs.op == "*"
+
+
+def test_unary_minus():
+    formula = parse_formula("-cycle(e[i]) <= 0")
+    assert isinstance(formula.lhs, Negate)
+
+
+def test_negative_triple_values():
+    formula = parse_formula("cycle(e[i]) in <-10, 10, 1>")
+    assert formula.low == -10.0
+
+
+def test_triple_validation():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i]) in <10, 5, 1>")  # max < min
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i]) in <0, 10, 0>")  # zero step
+
+
+def test_missing_operator_rejected():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i])")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i]) <= 5 extra")
+
+
+def test_malformed_reference_rejected():
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e) <= 5")
+    with pytest.raises(LocSyntaxError):
+        parse_formula("cycle(e[i) <= 5")
+
+
+def test_unparse_round_trip():
+    texts = [
+        "cycle(deq[i]) - cycle(enq[i]) <= 50",
+        "(energy(forward[i+100]) - energy(forward[i])) / "
+        "(time(forward[i+100]) - time(forward[i])) below <0.5, 2.25, 0.01>",
+        "total_bit(forward[i+10]) - total_bit(forward[i]) above <100, 3300, 10>",
+        "-cycle(e[i-2]) * 3 + 1 == 0",
+    ]
+    for text in texts:
+        formula = parse_formula(text)
+        reparsed = parse_formula(formula.unparse())
+        assert reparsed.unparse() == formula.unparse()
+
+
+def test_offsets_span():
+    formula = parse_formula("cycle(e[i+7]) - cycle(e[i-2]) <= 5")
+    assert formula.max_relative_offset() == 7
+    assert formula.min_relative_offset() == -2

@@ -1,0 +1,44 @@
+"""Tests for LOC semantic validation."""
+
+import pytest
+
+from repro.errors import LocSemanticError
+from repro.loc.parser import parse_formula
+from repro.loc.semantics import validate_formula
+
+
+def test_paper_formula_validates():
+    formula = parse_formula(
+        "(energy(forward[i+100]) - energy(forward[i])) / "
+        "(time(forward[i+100]) - time(forward[i])) below <0.5, 2.25, 0.01>"
+    )
+    validate_formula(formula)
+
+
+def test_me_prefixed_events_validate():
+    validate_formula(parse_formula("cycle(m2_pipeline[i]) <= 100"))
+    validate_formula(parse_formula("cycle(m15_fifo[i]) <= 100"))
+
+
+def test_unknown_annotation_rejected():
+    formula = parse_formula("watts(forward[i]) <= 100")
+    with pytest.raises(LocSemanticError):
+        validate_formula(formula)
+
+
+def test_malformed_event_name_rejected():
+    formula = parse_formula("cycle(warp[i]) <= 100")
+    with pytest.raises(LocSemanticError):
+        validate_formula(formula)
+
+
+def test_custom_event_universe():
+    formula = parse_formula("cycle(deq[i]) - cycle(enq[i]) <= 50")
+    validate_formula(formula, events=("enq", "deq"))
+    with pytest.raises(LocSemanticError):
+        validate_formula(formula, events=("enq",))
+
+
+def test_custom_annotations():
+    formula = parse_formula("watts(forward[i]) <= 100")
+    validate_formula(formula, annotations=("watts",))

@@ -1,0 +1,186 @@
+"""Tests for the microcode applications and the stride-trie serializer.
+
+The key property: detailed-mode decisions agree with the pure-Python
+reference structures and with the fast models.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.base import AppResources, build_app
+from repro.apps.detailed import IpfwdrMicrocodeApp, NatMicrocodeApp
+from repro.apps.microcode import (
+    LEAF_FLAG,
+    TRIE_BASE,
+    serialize_stride_trie,
+    stride_lookup_reference,
+)
+from repro.apps.routing import RoutingTrie, random_routing_trie
+from repro.config import DvsConfig, TrafficConfig
+from repro.npu.memstore import MemStore
+from repro.npu.steps import Compute, MemRead, MemWrite, PutTx
+from repro.runner import run_simulation
+from repro.sim.rng import RngStreams
+
+from conftest import quick_config
+from test_traffic import make_packet
+
+
+def fresh_resources(seed=77):
+    return AppResources(num_ports=16, rng_streams=RngStreams(seed))
+
+
+class TestStrideTrieSerializer:
+    def test_matches_binary_trie_lookup(self):
+        rng = random.Random(5)
+        trie = random_routing_trie(rng, num_prefixes=128)
+        store = MemStore("sram", 1 << 22)
+        tables = serialize_stride_trie(trie, store)
+        assert tables >= 1
+        for _ in range(500):
+            address = rng.getrandbits(32)
+            expected, _ = trie.lookup(address)
+            assert stride_lookup_reference(store, TRIE_BASE, address) == expected
+
+    def test_deep_prefixes_produce_deep_tables(self):
+        trie = RoutingTrie(default_port=0)
+        trie.insert(0x0A0B0C0D, 32, 9)
+        store = MemStore("sram", 1 << 22)
+        tables = serialize_stride_trie(trie, store)
+        assert tables == 4  # one per stride level on the 10.11.12.x path
+        assert stride_lookup_reference(store, TRIE_BASE, 0x0A0B0C0D) == 9
+        assert stride_lookup_reference(store, TRIE_BASE, 0x0A0B0C0E) == 0
+
+    def test_default_only_is_single_table(self):
+        trie = RoutingTrie(default_port=3)
+        store = MemStore("sram", 1 << 22)
+        assert serialize_stride_trie(trie, store) == 1
+        word = store.read_word(TRIE_BASE)
+        assert word & LEAF_FLAG
+        assert word & 0xFF == 3
+
+
+class TestIpfwdrMicrocode:
+    def test_routes_match_fast_model(self):
+        """Same trie, same packets: microcode ports == fast-model ports."""
+        detailed = IpfwdrMicrocodeApp(fresh_resources(seed=11))
+        fast_resources = fresh_resources(seed=11)
+        fast_resources.routing_trie = detailed.trie  # share the table
+        fast = build_app("ipfwdr", fast_resources)
+        rng = random.Random(9)
+        for seq in range(40):
+            dst = rng.getrandbits(32)
+            pkt_uc = make_packet(seq=seq, dst_ip=dst)
+            pkt_fast = make_packet(seq=seq, dst_ip=dst)
+            list(detailed.rx_steps(pkt_uc))
+            list(fast.rx_steps(pkt_fast))
+            assert pkt_uc.output_port == pkt_fast.output_port
+
+    def test_memory_op_sequence_shape(self):
+        app = IpfwdrMicrocodeApp(fresh_resources())
+        packet = make_packet(size=320, dst_ip=0x0A0B0C0D)
+        steps = list(app.rx_steps(packet))
+        sdram_writes = [
+            s for s in steps if isinstance(s, MemWrite) and s.target == "sdram"
+        ]
+        sram_reads = [
+            s for s in steps if isinstance(s, MemRead) and s.target == "sram"
+        ]
+        assert len(sdram_writes) == 5  # 320 bytes in 64-byte chunks
+        assert 1 <= len(sram_reads) <= 4  # stride walk depth
+        assert any(isinstance(s, PutTx) for s in steps)
+
+    def test_instruction_cost_in_fast_model_ballpark(self):
+        detailed = IpfwdrMicrocodeApp(fresh_resources(seed=11))
+        fast_resources = fresh_resources(seed=11)
+        fast_resources.routing_trie = detailed.trie
+        fast = build_app("ipfwdr", fast_resources)
+        packet_uc = make_packet(size=576, dst_ip=123456)
+        packet_fast = make_packet(size=576, dst_ip=123456)
+        uc_cost = sum(
+            s.instructions
+            for s in detailed.rx_steps(packet_uc)
+            if isinstance(s, Compute)
+        )
+        fast_cost = fast.expected_rx_instructions(packet_fast)
+        assert uc_cost == pytest.approx(fast_cost, rel=0.6)
+
+
+class TestNatMicrocode:
+    def test_one_install_per_flow(self):
+        app = NatMicrocodeApp(fresh_resources())
+        flows = [(k * 977, k * 31 + 1, 1000 + k, 80, 6) for k in range(8)]
+        for seq, (src, dst, sport, dport, proto) in enumerate(flows * 3):
+            packet = make_packet(
+                seq=seq, src_ip=src, dst_ip=dst, src_port=sport,
+                dst_port=dport, protocol=proto,
+            )
+            list(app.rx_steps(packet))
+        assert app.nat_entries_installed() == len(flows)
+
+    def test_hit_path_skips_install_write(self):
+        app = NatMicrocodeApp(fresh_resources())
+        packet = make_packet()
+        first = list(app.rx_steps(packet))
+        second = list(app.rx_steps(make_packet(seq=1)))
+        writes_first = sum(
+            1 for s in first if isinstance(s, MemWrite) and s.target == "sram"
+        )
+        writes_second = sum(
+            1 for s in second if isinstance(s, MemWrite) and s.target == "sram"
+        )
+        assert writes_first == 1
+        assert writes_second == 0
+
+    def test_no_sdram_traffic(self):
+        app = NatMicrocodeApp(fresh_resources())
+        steps = list(app.rx_steps(make_packet()))
+        assert not any(
+            getattr(s, "target", None) == "sdram" for s in steps
+        )
+
+
+class TestDetailedFullChip:
+    # pytest-benchmark reserves the name "benchmark" for its fixture.
+    @pytest.mark.parametrize("bench_name", ["ipfwdr_uc", "nat_uc"])
+    def test_detailed_benchmarks_forward_packets(self, bench_name):
+        result = run_simulation(
+            quick_config(
+                benchmark=bench_name,
+                duration_cycles=100_000,
+                traffic=TrafficConfig(offered_load_mbps=500.0, process="cbr"),
+            )
+        )
+        assert result.totals.forwarded_packets > 10
+        assert result.totals.loss_fraction < 0.2
+
+    def test_detailed_mode_with_tdvs(self):
+        result = run_simulation(
+            quick_config(
+                benchmark="ipfwdr_uc",
+                duration_cycles=200_000,
+                traffic=TrafficConfig(offered_load_mbps=200.0, process="cbr"),
+                dvs=DvsConfig(policy="tdvs", window_cycles=20_000,
+                              top_threshold_mbps=1200.0),
+            )
+        )
+        assert result.governor_transitions > 0
+        assert result.totals.forwarded_packets > 0
+
+    def test_per_instruction_pipeline_events(self):
+        from repro.trace.buffer import TraceBuffer
+
+        buffer = TraceBuffer(names=("m0_pipeline",))
+        result = run_simulation(
+            quick_config(
+                benchmark="ipfwdr_uc",
+                duration_cycles=30_000,
+                traffic=TrafficConfig(offered_load_mbps=300.0, process="cbr"),
+                pipeline_events="instruction",
+            ),
+            sinks=[buffer],
+        )
+        # Detailed mode yields Compute(1) per instruction, so pipeline
+        # events are per instruction (plus poll batches).
+        assert len(buffer) > 100

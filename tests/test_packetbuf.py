@@ -1,0 +1,59 @@
+"""Tests for the SDRAM packet-buffer allocator."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.npu.packetbuf import PacketBufferPool
+
+
+def test_allocate_release_cycle():
+    pool = PacketBufferPool(8192, buffer_bytes=2048)
+    assert pool.num_buffers == 4
+    handles = [pool.allocate() for _ in range(4)]
+    assert None not in handles
+    assert len(set(handles)) == 4
+    assert pool.in_use == 4
+    assert pool.allocate() is None
+    assert pool.failures == 1
+    pool.release(handles[0])
+    assert pool.allocate() == handles[0]
+
+
+def test_peak_tracking():
+    pool = PacketBufferPool(8192)
+    a = pool.allocate()
+    b = pool.allocate()
+    pool.release(a)
+    pool.release(b)
+    assert pool.peak_in_use == 2
+    assert pool.in_use == 0
+
+
+def test_double_free_rejected():
+    pool = PacketBufferPool(8192)
+    handle = pool.allocate()
+    pool.release(handle)
+    with pytest.raises(MemoryModelError):
+        pool.release(handle)
+
+
+def test_bad_handle_rejected():
+    pool = PacketBufferPool(8192)
+    with pytest.raises(MemoryModelError):
+        pool.release(99)
+    with pytest.raises(MemoryModelError):
+        pool.address_of(99)
+
+
+def test_addresses_distinct_and_aligned():
+    pool = PacketBufferPool(8192, buffer_bytes=2048)
+    addresses = {pool.address_of(h) for h in range(pool.num_buffers)}
+    assert len(addresses) == pool.num_buffers
+    assert all(a % 2048 == 0 for a in addresses)
+
+
+def test_construction_validation():
+    with pytest.raises(MemoryModelError):
+        PacketBufferPool(100, buffer_bytes=2048)
+    with pytest.raises(MemoryModelError):
+        PacketBufferPool(2048, buffer_bytes=0)

@@ -1,0 +1,41 @@
+"""Focused tests for distribution-report rendering details."""
+
+from repro.loc.analyzer import analyze_trace
+
+from conftest import make_event
+
+
+def events_of(values):
+    return [make_event("e", cycle=v) for v in values]
+
+
+def test_in_mode_report_prefers_populated_bins():
+    # Values concentrated in two bins of a wide range: the report must
+    # show those bins rather than a uniform thinning of empty ones.
+    values = [5, 6, 7, 95, 96] * 10
+    result = analyze_trace("cycle(e[i]) in <0, 1000, 10>", events_of(values))
+    report = result.report(max_rows=6)
+    assert "(0, 10]" in report
+    assert "(90, 100]" in report
+    assert "60.00%" in report  # 30 of 50 values in (0, 10]
+
+
+def test_in_mode_report_falls_back_when_single_bin():
+    result = analyze_trace("cycle(e[i]) in <0, 1000, 10>", events_of([5] * 4))
+    report = result.report(max_rows=4)
+    assert "100.00%" in report
+
+
+def test_below_mode_report_shows_cutoffs():
+    result = analyze_trace("cycle(e[i]) below <0, 100, 10>",
+                           events_of(list(range(0, 100, 5))))
+    report = result.report(max_rows=5)
+    lines = [line for line in report.splitlines() if "%" in line]
+    assert len(lines) == 5
+
+
+def test_report_without_row_cap_shows_everything():
+    result = analyze_trace("cycle(e[i]) below <0, 100, 10>", events_of([50]))
+    report = result.report(max_rows=None)
+    lines = [line for line in report.splitlines() if "%" in line]
+    assert len(lines) == 11  # all cutoffs 0..100

@@ -1,0 +1,280 @@
+"""Tests for the traffic substrate: packets, sizes, arrivals, diurnal."""
+
+import io
+import random
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.traffic.arrivals import (
+    ConstantBitRate,
+    MmppProcess,
+    PoissonProcess,
+    arrival_process,
+)
+from repro.traffic.diurnal import DiurnalModel
+from repro.traffic.generator import TrafficSource
+from repro.traffic.packet import FlowPool, Packet
+from repro.traffic.sampler import SegmentSpec, TrafficSampler
+from repro.traffic.sizes import IMIX_CLASSIC, PacketSizeMix
+from repro.traffic.trace_file import read_packet_trace, write_packet_trace
+
+
+def make_packet(seq=0, size=500, **kw):
+    defaults = dict(
+        seq=seq,
+        arrival_ps=1000,
+        size_bytes=size,
+        src_ip=0x0A000001,
+        dst_ip=0x0A000002,
+        src_port=1234,
+        dst_port=80,
+        protocol=6,
+        flow_id=0,
+        input_port=3,
+        payload_seed=42,
+    )
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_size_bits(self):
+        assert make_packet(size=100).size_bits == 800
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(TrafficError):
+            make_packet(size=10)
+        with pytest.raises(TrafficError):
+            make_packet(size=100_000)
+
+    def test_payload_deterministic_and_sized(self):
+        packet = make_packet(size=200)
+        payload = packet.payload()
+        assert len(payload) == 180  # minus 20-byte IP header
+        assert payload == packet.payload()
+
+    def test_payload_differs_across_packets(self):
+        a = make_packet(seq=1).payload()
+        b = make_packet(seq=2).payload()
+        assert a != b
+
+    def test_minimum_packet_has_small_payload(self):
+        assert make_packet(size=40).payload_bytes_len == 20
+
+    def test_five_tuple(self):
+        packet = make_packet()
+        assert packet.five_tuple == (0x0A000001, 0x0A000002, 1234, 80, 6)
+
+
+class TestFlowPool:
+    def test_draws_within_range(self):
+        pool = FlowPool(32, 0.9, random.Random(1))
+        for _ in range(200):
+            assert 0 <= pool.draw() < 32
+
+    def test_zipf_skews_popular_flows(self):
+        pool = FlowPool(64, 1.0, random.Random(2))
+        draws = [pool.draw() for _ in range(4000)]
+        top = sum(1 for d in draws if d < 8)
+        assert top > 1200  # top 1/8 of flows gets far more than 1/8 of draws
+
+    def test_uniform_when_zipf_zero(self):
+        pool = FlowPool(16, 0.0, random.Random(3))
+        draws = [pool.draw() for _ in range(8000)]
+        counts = [draws.count(k) for k in range(16)]
+        assert min(counts) > 300
+
+    def test_endpoints_stable(self):
+        pool = FlowPool(8, 0.5, random.Random(4))
+        assert pool.endpoints(3) == pool.endpoints(3)
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            FlowPool(0, 0.5, random.Random(1))
+        with pytest.raises(TrafficError):
+            FlowPool(4, -1.0, random.Random(1))
+
+
+class TestSizeMix:
+    def test_normalization_and_mean(self):
+        mix = PacketSizeMix([(100, 1), (300, 1)])
+        assert mix.mean_bytes == 200
+        assert mix.mean_bits == 1600
+
+    def test_imix_mean(self):
+        assert IMIX_CLASSIC.mean_bytes == pytest.approx(340.33, abs=0.01)
+
+    def test_samples_follow_weights(self):
+        mix = PacketSizeMix([(40, 9), (1500, 1)])
+        rng = random.Random(5)
+        samples = [mix.sample(rng) for _ in range(5000)]
+        small = sum(1 for s in samples if s == 40)
+        assert 0.85 < small / 5000 < 0.95
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            PacketSizeMix([])
+        with pytest.raises(TrafficError):
+            PacketSizeMix([(0, 1)])
+        with pytest.raises(TrafficError):
+            PacketSizeMix([(40, -1)])
+
+
+class TestArrivals:
+    def test_cbr_exact_rate(self):
+        process = ConstantBitRate(1e9, 8000.0)
+        assert process.mean_rate_pps == pytest.approx(125_000)
+        rng = random.Random(0)
+        assert process.next_gap_ps(rng) == process.next_gap_ps(rng) == 8_000_000
+
+    @pytest.mark.parametrize("cls", [PoissonProcess, MmppProcess])
+    def test_long_run_rate_matches_target(self, cls):
+        process = cls(1e9, 2722.7)
+        rng = random.Random(11)
+        n = 60_000
+        total = sum(process.next_gap_ps(rng) for _ in range(n))
+        measured_pps = n / (total / 1e12)
+        assert measured_pps == pytest.approx(process.mean_rate_pps, rel=0.05)
+
+    def test_mmpp_rates_bracket_mean(self):
+        process = MmppProcess(1e9, 8000.0, burst_ratio=4.0, burst_fraction=0.3)
+        assert process.quiet_rate_pps < process.mean_rate_pps < process.burst_rate_pps
+        assert process.burst_rate_pps == pytest.approx(
+            4 * process.quiet_rate_pps
+        )
+
+    def test_mmpp_validation(self):
+        with pytest.raises(TrafficError):
+            MmppProcess(1e9, 8000.0, burst_ratio=1.0)
+        with pytest.raises(TrafficError):
+            MmppProcess(1e9, 8000.0, burst_fraction=1.0)
+
+    def test_registry(self):
+        process = arrival_process("poisson", 1e9, 8000.0)
+        assert isinstance(process, PoissonProcess)
+        with pytest.raises(TrafficError):
+            arrival_process("pareto", 1e9, 8000.0)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(TrafficError):
+            PoissonProcess(0, 8000.0)
+
+
+class TestDiurnal:
+    def test_base_rate_peaks_at_peak_hour(self):
+        model = DiurnalModel(peak_hour=14.0)
+        peak = model.base_rate_bps(14 * 3600)
+        night = model.base_rate_bps(3 * 3600)
+        assert peak > 5 * night
+        assert peak == pytest.approx(model.peak_bps, rel=0.15)
+
+    def test_sample_day_bucket_ordering(self):
+        model = DiurnalModel()
+        buckets = model.sample_day(bucket_s=3600.0, samples_per_bucket=10)
+        assert len(buckets) == 24
+        for bucket in buckets:
+            assert bucket.min_bps <= bucket.med_bps <= bucket.max_bps
+
+    def test_bucket_labels(self):
+        model = DiurnalModel()
+        buckets = model.sample_day(bucket_s=1800.0, samples_per_bucket=2,
+                                   start_s=9 * 3600, end_s=11 * 3600)
+        assert buckets[0].label == "09:00"
+        assert buckets[1].label == "09:30"
+
+    def test_percentile_rates_monotone(self):
+        model = DiurnalModel()
+        p10 = model.percentile_rate(10)
+        p50 = model.percentile_rate(50)
+        p97 = model.percentile_rate(97)
+        assert p10 < p50 < p97
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            DiurnalModel(night_bps=0)
+        with pytest.raises(TrafficError):
+            DiurnalModel(peak_hour=25)
+
+
+class TestSampler:
+    def test_levels_ordered(self):
+        sampler = TrafficSampler(DiurnalModel())
+        low = sampler.level_load_bps("low")
+        med = sampler.level_load_bps("med")
+        high = sampler.level_load_bps("high")
+        assert low < med < high
+        assert high == pytest.approx(sampler.npu_scale_to_bps)
+
+    def test_unknown_level_rejected(self):
+        sampler = TrafficSampler(DiurnalModel())
+        with pytest.raises(TrafficError):
+            sampler.level_load_bps("peak")
+
+    def test_all_segments(self):
+        segments = TrafficSampler(DiurnalModel()).all_segments()
+        assert set(segments) == {"low", "med", "high"}
+
+
+class TestTrafficSource:
+    def _run_source(self, spec, stop_us=2000):
+        sim = Simulator()
+        received = []
+        source = TrafficSource.from_spec(
+            sim,
+            lambda port, packet: received.append((port, packet)),
+            spec,
+            rng_streams=RngStreams(9),
+        )
+        source.start(stop_ps=stop_us * 1_000_000)
+        sim.run()
+        return source, received
+
+    def test_packets_delivered_with_increasing_seq(self):
+        spec = SegmentSpec(level="med", offered_load_bps=1e9, process="cbr")
+        source, received = self._run_source(spec)
+        assert len(received) > 100
+        seqs = [packet.seq for _, packet in received]
+        assert seqs == sorted(seqs)
+        assert source.offered_packets == len(received)
+
+    def test_ports_in_range_and_flow_sticky(self):
+        spec = SegmentSpec(level="med", offered_load_bps=1e9, process="poisson")
+        _, received = self._run_source(spec)
+        port_by_flow = {}
+        for port, packet in received:
+            assert 0 <= port < 16
+            previous = port_by_flow.setdefault(packet.flow_id, port)
+            assert previous == port
+
+    def test_offered_load_measured(self):
+        spec = SegmentSpec(level="med", offered_load_bps=1e9, process="cbr")
+        source, _ = self._run_source(spec, stop_us=4000)
+        assert source.offered_load_bps == pytest.approx(1e9, rel=0.1)
+
+    def test_cannot_start_twice(self):
+        sim = Simulator()
+        spec = SegmentSpec(level="med", offered_load_bps=1e9, process="cbr")
+        source = TrafficSource.from_spec(sim, lambda p, k: None, spec)
+        source.start()
+        with pytest.raises(TrafficError):
+            source.start()
+
+
+class TestPacketTraceFile:
+    def test_round_trip(self):
+        packets = [make_packet(seq=k, size=100 + k) for k in range(10)]
+        buffer = io.StringIO()
+        count = write_packet_trace(packets, buffer)
+        assert count == 10
+        buffer.seek(0)
+        back = list(read_packet_trace(buffer))
+        assert back == packets
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "packets.csv")
+        packets = [make_packet(seq=k) for k in range(5)]
+        write_packet_trace(packets, path)
+        assert list(read_packet_trace(path)) == packets

@@ -1,0 +1,55 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_frequency_conversions():
+    assert units.mhz(600) == 600e6
+    assert units.ghz(1.4) == 1.4e9
+    assert units.hz_to_mhz(600e6) == 600.0
+
+
+def test_rate_conversions():
+    assert units.mbps(1000) == 1e9
+    assert units.gbps(2.4) == 2.4e9
+    assert units.bps_to_mbps(1e9) == 1000.0
+
+
+def test_time_conversions_round_trip():
+    assert units.us_to_ps(1.5) == 1_500_000
+    assert units.ns_to_ps(2.25) == 2250
+    assert units.s_to_ps(0.001) == 1_000_000_000
+    assert units.ps_to_us(1_500_000) == 1.5
+    assert units.ps_to_s(1_000_000_000_000) == 1.0
+
+
+def test_period_ps():
+    assert units.period_ps(600e6) == 1667
+    assert units.period_ps(1e12) == 1
+    with pytest.raises(ValueError):
+        units.period_ps(0)
+
+
+def test_period_ps_never_below_one():
+    assert units.period_ps(5e12) == 1
+
+
+def test_cycles_time_round_trip():
+    freq = 600e6
+    for cycles in (1, 10, 20_000, 8_000_000):
+        ps = units.cycles_to_ps(cycles, freq)
+        back = units.ps_to_cycles(ps, freq)
+        assert back == pytest.approx(cycles, rel=1e-9)
+
+
+def test_transmit_time():
+    # 1000 bytes at 1 Gbps = 8 us
+    assert units.transmit_time_ps(1000, 1e9) == 8_000_000
+    with pytest.raises(ValueError):
+        units.transmit_time_ps(100, 0)
+
+
+def test_bytes_to_bits():
+    assert units.bytes_to_bits(40) == 320

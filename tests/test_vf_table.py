@@ -1,0 +1,66 @@
+"""Tests for the VF ladder (the paper's Figure 5)."""
+
+import pytest
+
+from repro.config import NpuConfig
+from repro.dvs.vf_table import VfTable
+from repro.errors import ConfigError
+from repro.units import mhz
+
+
+def default_table():
+    return VfTable.from_config(NpuConfig())
+
+
+def test_paper_ladder_points():
+    table = default_table()
+    assert len(table) == 5
+    assert [p.freq_mhz for p in table.points] == [600, 550, 500, 450, 400]
+    assert [p.vdd for p in table.points] == [1.3, 1.25, 1.2, 1.15, 1.1]
+
+
+def test_figure5_thresholds():
+    table = default_table()
+    thresholds = [
+        round(table.traffic_threshold_mbps(level, 1000.0))
+        for level in range(len(table))
+    ]
+    # The paper's row: 1000, 916, 833, 750, 666 (rounded).
+    assert thresholds == [1000, 917, 833, 750, 667]
+
+
+def test_scaling_table_rows():
+    rows = default_table().scaling_table(1000.0)
+    assert rows[0] == (600.0, 1.3, 1000.0)
+    assert rows[-1][0] == 400.0
+    assert rows[-1][2] == pytest.approx(666.67, abs=0.01)
+
+
+def test_step_navigation_clamps():
+    table = default_table()
+    assert table.step_up(0) == 0
+    assert table.step_down(0) == 1
+    bottom = len(table) - 1
+    assert table.step_down(bottom) == bottom
+    assert table.step_up(bottom) == bottom - 1
+
+
+def test_top_bottom():
+    table = default_table()
+    assert table.top.freq_hz == mhz(600)
+    assert table.bottom.freq_hz == mhz(400)
+
+
+def test_degenerate_single_point_ladder():
+    table = VfTable(mhz(600), mhz(600), mhz(50), 1.3, 1.3)
+    assert len(table) == 1
+    assert table.top == table.bottom
+
+
+def test_invalid_ladders_rejected():
+    with pytest.raises(ConfigError):
+        VfTable(mhz(400), mhz(600), mhz(50), 1.3, 1.1)  # min > max
+    with pytest.raises(ConfigError):
+        VfTable(mhz(600), mhz(400), mhz(70), 1.3, 1.1)  # step misfit
+    with pytest.raises(ConfigError):
+        default_table().traffic_threshold_mbps(0, -5)
