@@ -1,0 +1,60 @@
+"""Benches for the sweep engine: serial vs. parallel wall-clock.
+
+Times the same job grid through ``run_sweep`` serially (``workers=1``,
+the in-process path) and through the process pool, asserts the results
+are bit-identical, and prints both wall-clock figures plus the speedup
+so sweep scaling is recorded alongside the figure benches.  On
+single-core runners the pool carries fork overhead with no win — the
+interesting number there is how small the overhead stays.
+"""
+
+import time
+
+from repro.sweep import SweepSpec, run_sweep
+
+from conftest import run_once
+
+#: A 2x2 TDVS grid plus baseline at bench-profile length.
+SPEC = SweepSpec(
+    policies=("none", "tdvs"),
+    thresholds_mbps=(1000.0, 1400.0),
+    windows_cycles=(20_000, 80_000),
+    traffic=("level:high",),
+    duration_cycles=400_000,
+    span=20,
+)
+
+
+def _timed_sweep(jobs, workers):
+    start = time.perf_counter()
+    outcomes = run_sweep(jobs, workers=workers)
+    return outcomes, time.perf_counter() - start
+
+
+def test_sweep_serial_vs_parallel_wall_clock(benchmark):
+    jobs = SPEC.jobs()
+    serial, serial_s = _timed_sweep(jobs, 1)
+    (parallel, parallel_s) = run_once(benchmark, _timed_sweep, jobs, 4)
+
+    print(
+        f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s, "
+        f"4 workers {parallel_s:.2f}s, speedup {serial_s / parallel_s:.2f}x"
+    )
+    # The acceptance property: worker count never changes the numbers.
+    for s, p in zip(serial, parallel):
+        assert s.result.totals == p.result.totals
+        assert s.power_dist.counts == p.power_dist.counts
+
+
+def test_sweep_store_cache_replay_is_fast(benchmark, tmp_path):
+    from repro.sweep import ResultStore
+
+    path = str(tmp_path / "results.jsonl")
+    jobs = SPEC.jobs()
+    run_sweep(jobs, workers=1, store=ResultStore(path))
+
+    start = time.perf_counter()
+    replay = run_once(benchmark, run_sweep, jobs, workers=1, store=ResultStore(path))
+    replay_s = time.perf_counter() - start
+    print(f"\ncache replay of {len(jobs)} jobs: {replay_s:.3f}s")
+    assert all(outcome.cached for outcome in replay)

@@ -37,6 +37,8 @@ from repro.config import (
 )
 from repro.errors import ReproError
 from repro.runner import RunResult, SimulationRun, run_simulation
+from repro.scenarios import Scenario, get_scenario, list_scenarios
+from repro.sweep import ResultStore, SweepSpec, run_sweep
 from repro.version import PAPER, __version__
 
 __all__ = [
@@ -46,10 +48,16 @@ __all__ = [
     "PAPER",
     "PowerConfig",
     "ReproError",
+    "ResultStore",
     "RunConfig",
     "RunResult",
+    "Scenario",
     "SimulationRun",
+    "SweepSpec",
     "TrafficConfig",
     "__version__",
+    "get_scenario",
+    "list_scenarios",
     "run_simulation",
+    "run_sweep",
 ]

@@ -3,18 +3,27 @@
 Usage::
 
     repro list                              # list experiments
-    repro run fig06 [--profile quick]       # regenerate one figure
+    repro run fig06 [--profile quick] [--workers 4]
     repro run all  [--profile quick]        # regenerate everything
     repro simulate --benchmark ipfwdr --load 1000 --policy tdvs ...
+    repro scenarios                         # list the workload catalog
+    repro scenarios flash_crowd --run       # play one scenario
+    repro sweep --policy tdvs --workers 4   # parallel design-space sweep
     repro loc-gen "FORMULA" --out analyzer.py
 
 ``repro simulate`` runs a single configuration and prints the totals;
-``repro loc-gen`` emits a standalone LOC analyzer script for a formula.
+``repro sweep`` expands a policy/threshold/window/traffic/seed grid and
+fans it out over worker processes (see :mod:`repro.sweep`);
+``repro scenarios`` lists and runs the built-in workload catalog
+(:mod:`repro.scenarios`); ``repro loc-gen`` emits a standalone LOC
+analyzer script for a formula.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
@@ -51,6 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the experiments' data dictionaries as JSON instead of text",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for simulation grids (default: serial, or "
+        "the REPRO_SWEEP_WORKERS environment variable)",
+    )
 
     sim_parser = sub.add_parser("simulate", help="run one simulation")
     sim_parser.add_argument("--benchmark", default="ipfwdr")
@@ -67,11 +83,113 @@ def _build_parser() -> argparse.ArgumentParser:
         "--process", default="mmpp", choices=("mmpp", "poisson", "cbr")
     )
 
+    scen_parser = sub.add_parser(
+        "scenarios", help="list, inspect or run catalog traffic scenarios"
+    )
+    scen_parser.add_argument(
+        "name", nargs="?", default=None, help="scenario to inspect (default: list all)"
+    )
+    scen_parser.add_argument(
+        "--run", action="store_true", help="simulate the named scenario"
+    )
+    scen_parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("bench", "quick", "paper"),
+        help="run-length profile for --run (default: quick)",
+    )
+    scen_parser.add_argument("--benchmark", default="ipfwdr")
+    scen_parser.add_argument(
+        "--policy", default="none", choices=("none", "tdvs", "edvs", "combined")
+    )
+    scen_parser.add_argument("--seed", type=int, default=1)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a design-space sweep, optionally in parallel"
+    )
+    sweep_parser.add_argument(
+        "--policy",
+        action="append",
+        choices=("none", "tdvs", "edvs", "combined"),
+        help="policy axis (repeatable; default: tdvs)",
+    )
+    sweep_parser.add_argument(
+        "--threshold",
+        action="append",
+        type=float,
+        help="TDVS top-threshold axis in Mbps (repeatable; default: the "
+        "paper's 800/1000/1200/1400 grid)",
+    )
+    sweep_parser.add_argument(
+        "--window",
+        action="append",
+        type=int,
+        help="monitor-window axis in cycles (repeatable; default: the "
+        "paper's 20k/40k/60k/80k grid)",
+    )
+    sweep_parser.add_argument(
+        "--traffic",
+        action="append",
+        help="traffic axis: level:high, load:1000 or scenario:flash_crowd "
+        "(repeatable; default: level:high)",
+    )
+    sweep_parser.add_argument("--benchmark", action="append", help="benchmark axis")
+    sweep_parser.add_argument(
+        "--seed", action="append", type=int, help="seed axis (repeatable)"
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("bench", "quick", "paper"),
+        help="run-length profile (default: quick)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: serial)"
+    )
+    sweep_parser.add_argument(
+        "--store",
+        default=None,
+        help="JSONL result store: completed jobs are skipped on re-runs",
+    )
+    sweep_parser.add_argument(
+        "--distributions",
+        action="store_true",
+        help="attach the formula (2)/(3) distribution analyzers to each job",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
     gen_parser = sub.add_parser("loc-gen", help="generate a standalone LOC analyzer")
     gen_parser.add_argument("formula", help="LOC formula text")
     gen_parser.add_argument("--out", default=None, help="output path (default stdout)")
 
     return parser
+
+
+@contextlib.contextmanager
+def _sweep_workers(workers: Optional[int]):
+    """Scope a ``--workers`` override to one command invocation.
+
+    Experiments pick their worker count up from ``REPRO_SWEEP_WORKERS``
+    so every figure parallelizes without per-runner plumbing; restoring
+    the variable afterwards keeps repeated in-process ``main()`` calls
+    (tests, notebooks) from inheriting a stale override.
+    """
+    from repro.sweep.engine import WORKERS_ENV_VAR
+
+    if workers is None:
+        yield
+        return
+    previous = os.environ.get(WORKERS_ENV_VAR)
+    os.environ[WORKERS_ENV_VAR] = str(max(1, workers))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(WORKERS_ENV_VAR, None)
+        else:
+            os.environ[WORKERS_ENV_VAR] = previous
 
 
 def _cmd_list() -> int:
@@ -84,12 +202,13 @@ def _cmd_list() -> int:
 def _cmd_run(args) -> int:
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     chunks = []
-    for experiment_id in ids:
-        result = get_experiment(experiment_id).run(profile=args.profile)
-        if args.json:
-            chunks.append(result.to_json())
-        else:
-            chunks.append(f"## {experiment_id}\n\n{result.text}")
+    with _sweep_workers(args.workers):
+        for experiment_id in ids:
+            result = get_experiment(experiment_id).run(profile=args.profile)
+            if args.json:
+                chunks.append(result.to_json())
+            else:
+                chunks.append(f"## {experiment_id}\n\n{result.text}")
     if args.json:
         output = "[\n" + ",\n".join(chunks) + "\n]\n" if len(chunks) > 1 else chunks[0] + "\n"
     else:
@@ -121,6 +240,18 @@ def _cmd_simulate(args) -> int:
     totals = result.totals
     print(f"benchmark        : {args.benchmark}")
     print(f"policy           : {args.policy}")
+    _print_run_totals(result)
+    for me in totals.me_summaries:
+        print(
+            f"  ME{me.index} ({me.role}) busy={me.busy_fraction:.2f} "
+            f"idle={me.idle_fraction:.2f} stalled={me.stalled_fraction:.2f} "
+            f"freq={me.freq_mhz:.0f}MHz"
+        )
+    return 0
+
+
+def _print_run_totals(result) -> None:
+    totals = result.totals
     print(f"simulated time   : {totals.duration_s * 1e3:.3f} ms")
     print(f"offered          : {totals.offered_mbps:.1f} Mbps "
           f"({totals.offered_packets} packets)")
@@ -128,15 +259,99 @@ def _cmd_simulate(args) -> int:
           f"({totals.forwarded_packets} packets)")
     print(f"loss             : {totals.loss_fraction * 100:.2f}%")
     print(f"mean power       : {totals.mean_power_w:.3f} W")
-    if args.policy != "none":
+    if result.governor_policy != "none":
         print(f"VF transitions   : {result.governor_transitions}")
         print(f"monitor overhead : {result.dvs_overhead_w * 1e3:.3f} mW")
-    for me in totals.me_summaries:
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.experiments.common import cycles_for
+    from repro.scenarios import all_scenarios, get_scenario
+
+    if args.name is None:
+        print(f"{'name':18s} {'segs':>4s} {'mean':>8s} {'peak':>8s}  title")
+        for scenario in all_scenarios():
+            print(
+                f"{scenario.name:18s} {len(scenario.segments):4d} "
+                f"{scenario.mean_load_mbps:8.1f} {scenario.peak_load_mbps:8.1f}  "
+                f"{scenario.title}"
+            )
+        return 0
+
+    scenario = get_scenario(args.name)
+    print(f"scenario : {scenario.name} — {scenario.title}")
+    print(f"about    : {scenario.description}")
+    print(
+        f"load     : mean {scenario.mean_load_mbps:.1f} Mbps, "
+        f"peak {scenario.peak_load_mbps:.1f} Mbps"
+    )
+    print(f"flows    : {scenario.num_flows} (zipf s={scenario.zipf_s:g})")
+    total = scenario.total_weight
+    for k, segment in enumerate(scenario.segments):
         print(
-            f"  ME{me.index} ({me.role}) busy={me.busy_fraction:.2f} "
-            f"idle={me.idle_fraction:.2f} stalled={me.stalled_fraction:.2f} "
-            f"freq={me.freq_mhz:.0f}MHz"
+            f"  [{k}] {100 * segment.weight / total:5.1f}% of run  "
+            f"{segment.offered_load_mbps:7.1f} Mbps  {segment.process:7s} "
+            f"{segment.size_mix}"
         )
+    if not args.run:
+        return 0
+
+    config = RunConfig(
+        benchmark=args.benchmark,
+        duration_cycles=cycles_for(args.profile),
+        seed=args.seed,
+        traffic=TrafficConfig.for_scenario(scenario.name),
+        dvs=DvsConfig(policy=args.policy),
+    )
+    result = run_simulation(config)
+    print()
+    print(f"benchmark        : {args.benchmark}")
+    print(f"policy           : {args.policy}")
+    _print_run_totals(result)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.common import (
+        EXPERIMENT_SEED,
+        TDVS_THRESHOLDS_MBPS,
+        TDVS_WINDOWS_CYCLES,
+        cycles_for,
+        span_for,
+    )
+    from repro.sweep import (
+        ResultStore,
+        SweepSpec,
+        progress_printer,
+        run_sweep,
+        summarize,
+    )
+
+    spec = SweepSpec(
+        benchmarks=tuple(args.benchmark or ("ipfwdr",)),
+        policies=tuple(args.policy or ("tdvs",)),
+        thresholds_mbps=tuple(args.threshold or TDVS_THRESHOLDS_MBPS),
+        windows_cycles=tuple(args.window or TDVS_WINDOWS_CYCLES),
+        traffic=tuple(args.traffic or ("level:high",)),
+        seeds=tuple(args.seed or (EXPERIMENT_SEED,)),
+        duration_cycles=cycles_for(args.profile),
+        span=span_for(args.profile) if args.distributions else None,
+    )
+    jobs = spec.jobs()
+    store = ResultStore(args.store) if args.store else None
+    workers = args.workers
+    print(
+        f"sweep: {len(jobs)} jobs, "
+        f"workers={workers if workers is not None else 'auto'}, "
+        f"store={args.store or 'none'}"
+    )
+    outcomes = run_sweep(
+        jobs,
+        workers=workers,
+        store=store,
+        progress=None if args.quiet else progress_printer(),
+    )
+    print(summarize(outcomes))
     return 0
 
 
@@ -160,6 +375,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -315,12 +315,16 @@ class DvsConfig(_Base):
 class TrafficConfig(_Base):
     """Offered traffic for one run.
 
-    Either give an explicit ``offered_load_mbps`` or a named ``level``
-    (``low``/``med``/``high``) resolved through the diurnal sampler.
+    Exactly one of three sources must be set: an explicit
+    ``offered_load_mbps``, a named ``level`` (``low``/``med``/``high``)
+    resolved through the diurnal sampler, or a catalog ``scenario``
+    (see :mod:`repro.scenarios`) whose timed segments override the
+    single-rate knobs below for the whole run.
     """
 
     level: Optional[str] = None
     offered_load_mbps: Optional[float] = 1000.0
+    scenario: Optional[str] = None
     process: str = "mmpp"
     burst_ratio: float = 4.0
     burst_fraction: float = 0.3
@@ -328,21 +332,45 @@ class TrafficConfig(_Base):
     num_flows: int = 512
     zipf_s: float = 0.9
 
+    @classmethod
+    def for_scenario(cls, name: str, **overrides) -> "TrafficConfig":
+        """Convenience constructor selecting a catalog scenario."""
+        return cls(scenario=name, offered_load_mbps=None, **overrides)
+
     def validate(self) -> None:
-        if (self.level is None) == (self.offered_load_mbps is None):
+        sources = dict(
+            level=self.level,
+            offered_load_mbps=self.offered_load_mbps,
+            scenario=self.scenario,
+        )
+        chosen = {name: value for name, value in sources.items() if value is not None}
+        if len(chosen) != 1:
             raise ConfigError(
-                "exactly one of level / offered_load_mbps must be set "
-                f"(got level={self.level!r}, "
-                f"offered_load_mbps={self.offered_load_mbps!r})"
+                "exactly one of level / offered_load_mbps / scenario must "
+                f"be set (got {chosen or sources})"
             )
         if self.level is not None and self.level not in ("low", "med", "high"):
             raise ConfigError(f"level must be low/med/high, got {self.level!r}")
+        if self.scenario is not None:
+            # Imported lazily: repro.scenarios builds on this module.
+            from repro.errors import TrafficError
+            from repro.scenarios.catalog import get_scenario
+
+            try:
+                get_scenario(self.scenario)
+            except TrafficError as exc:
+                raise ConfigError(str(exc)) from None
         if self.offered_load_mbps is not None:
             _positive(self.offered_load_mbps, "TrafficConfig.offered_load_mbps")
         if self.process not in ("poisson", "cbr", "mmpp"):
             raise ConfigError(f"unknown arrival process {self.process!r}")
-        if self.size_mix not in ("imix", "imix_downstream", "min64"):
-            raise ConfigError(f"unknown size mix {self.size_mix!r}")
+        # Imported lazily: keeps `repro.config` import-light.
+        from repro.traffic.sizes import SIZE_MIXES
+
+        if self.size_mix not in SIZE_MIXES:
+            raise ConfigError(
+                f"unknown size mix {self.size_mix!r}; known: {sorted(SIZE_MIXES)}"
+            )
         _positive(self.num_flows, "TrafficConfig.num_flows")
         _non_negative(self.zipf_s, "TrafficConfig.zipf_s")
 

@@ -1,5 +1,13 @@
 """Shared experiment machinery: profiles, instrumented runs, caching.
 
+Every simulation-backed experiment goes through the sweep engine
+(:mod:`repro.sweep`): figures build :class:`~repro.sweep.spec.Job`
+lists and hand them to :func:`~repro.sweep.engine.run_sweep`, which
+fans them out over worker processes when parallelism is available
+(``--workers`` on the CLI, or the ``REPRO_SWEEP_WORKERS`` environment
+variable) and falls back to the in-process serial path otherwise.
+Results are identical either way — each job carries its own seed.
+
 The TDVS design-space experiments (Figures 6-9) share one 17-run grid;
 :func:`tdvs_design_space` computes it once per profile and caches it so
 ``fig06``/``fig07``/``fig08``/``fig09`` stay cheap to run back to back.
@@ -8,16 +16,15 @@ The TDVS design-space experiments (Figures 6-9) share one 17-run grid;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import DvsConfig, RunConfig, TrafficConfig
 from repro.errors import ExperimentError
-from repro.loc.analyzer import DistributionAnalyzer, DistributionResult
-from repro.loc.builtin import (
-    power_distribution_formula,
-    throughput_distribution_formula,
-)
-from repro.runner import RunResult, run_simulation
+from repro.loc.analyzer import DistributionResult
+from repro.runner import RunResult
+from repro.sweep.engine import run_job, run_sweep
+from repro.sweep.spec import Job
+from repro.sweep.store import SweepOutcome
 
 #: Run lengths (reference-clock cycles) per profile.  ``paper`` is the
 #: paper's 8x10^6; ``quick`` keeps several 80k windows while staying
@@ -75,38 +82,87 @@ class InstrumentedRun:
     throughput: DistributionResult
 
 
+def as_instrumented(outcome: SweepOutcome) -> InstrumentedRun:
+    """View a sweep outcome as an :class:`InstrumentedRun`."""
+    if outcome.power_dist is None or outcome.throughput_dist is None:
+        raise ExperimentError(
+            f"job {outcome.label or outcome.job_id!r} ran without analyzers "
+            "(span=None); instrumented experiments need span set"
+        )
+    return InstrumentedRun(
+        result=outcome.result,
+        power=outcome.power_dist,
+        throughput=outcome.throughput_dist,
+    )
+
+
+def instrumented_job(
+    profile: str,
+    benchmark: str = "ipfwdr",
+    load_mbps: Optional[float] = None,
+    level: Optional[str] = None,
+    scenario: Optional[str] = None,
+    dvs: Optional[DvsConfig] = None,
+    seed: int = EXPERIMENT_SEED,
+    process: str = "mmpp",
+) -> Job:
+    """Build the sweep job for one instrumented experiment run.
+
+    Named levels resolve through :data:`LEVEL_LOADS_MBPS` (the
+    experiments' NPU-regime samples); scenarios pass through by name.
+    """
+    sources = [value for value in (load_mbps, level, scenario) if value is not None]
+    if len(sources) != 1:
+        raise ExperimentError("give exactly one of load_mbps / level / scenario")
+    if level is not None:
+        load_mbps = LEVEL_LOADS_MBPS[level]
+    if scenario is not None:
+        traffic = TrafficConfig.for_scenario(scenario)
+    else:
+        traffic = TrafficConfig(offered_load_mbps=load_mbps, process=process)
+    dvs = dvs or DvsConfig(policy="none")
+    config = RunConfig(
+        benchmark=benchmark,
+        duration_cycles=cycles_for(profile),
+        seed=seed,
+        traffic=traffic,
+        dvs=dvs,
+    )
+    label = " ".join(
+        part
+        for part in (
+            benchmark,
+            scenario or level or f"{load_mbps:g}Mbps",
+            dvs.policy,
+            f"win={dvs.window_cycles}" if dvs.policy != "none" else "",
+        )
+        if part
+    )
+    return Job.build(config, span=span_for(profile), label=label)
+
+
 def instrumented_run(
     profile: str,
     benchmark: str = "ipfwdr",
     load_mbps: Optional[float] = None,
     level: Optional[str] = None,
+    scenario: Optional[str] = None,
     dvs: Optional[DvsConfig] = None,
     seed: int = EXPERIMENT_SEED,
     process: str = "mmpp",
 ) -> InstrumentedRun:
     """Run one configuration with formula (2)/(3) analyzers attached."""
-    if (load_mbps is None) == (level is None):
-        raise ExperimentError("give exactly one of load_mbps / level")
-    if level is not None:
-        load_mbps = LEVEL_LOADS_MBPS[level]
-    span = span_for(profile)
-    power_analyzer = DistributionAnalyzer(power_distribution_formula(span=span))
-    throughput_analyzer = DistributionAnalyzer(
-        throughput_distribution_formula(span=span)
-    )
-    config = RunConfig(
+    job = instrumented_job(
+        profile,
         benchmark=benchmark,
-        duration_cycles=cycles_for(profile),
+        load_mbps=load_mbps,
+        level=level,
+        scenario=scenario,
+        dvs=dvs,
         seed=seed,
-        traffic=TrafficConfig(offered_load_mbps=load_mbps, process=process),
-        dvs=dvs or DvsConfig(policy="none"),
+        process=process,
     )
-    result = run_simulation(config, sinks=[power_analyzer, throughput_analyzer])
-    return InstrumentedRun(
-        result=result,
-        power=power_analyzer.finish(),
-        throughput=throughput_analyzer.finish(),
-    )
+    return as_instrumented(run_job(job))
 
 
 #: Cache: profile -> {(threshold|None, window|None): InstrumentedRun}.
@@ -116,16 +172,19 @@ _TDVS_CACHE: Dict[str, Dict[Tuple[Optional[float], Optional[int]], InstrumentedR
 
 def tdvs_design_space(
     profile: str,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[Optional[float], Optional[int]], InstrumentedRun]:
     """The shared Figures 6-9 grid: 4 thresholds x 4 windows + noDVS.
 
     Benchmark `ipfwdr` at the high traffic sample, as in Section 4.1.
+    The 17 runs go through the sweep engine, so ``workers > 1``
+    regenerates the grid in parallel with identical results.
     """
     cached = _TDVS_CACHE.get(profile)
     if cached is not None:
         return cached
-    grid: Dict[Tuple[Optional[float], Optional[int]], InstrumentedRun] = {}
-    grid[(None, None)] = instrumented_run(profile, level="high")
+    keys: List[Tuple[Optional[float], Optional[int]]] = [(None, None)]
+    jobs = [instrumented_job(profile, level="high")]
     for threshold in TDVS_THRESHOLDS_MBPS:
         for window in TDVS_WINDOWS_CYCLES:
             dvs = DvsConfig(
@@ -133,9 +192,12 @@ def tdvs_design_space(
                 window_cycles=window,
                 top_threshold_mbps=threshold,
             )
-            grid[(threshold, window)] = instrumented_run(
-                profile, level="high", dvs=dvs
-            )
+            keys.append((threshold, window))
+            jobs.append(instrumented_job(profile, level="high", dvs=dvs))
+    outcomes = run_sweep(jobs, workers=workers)
+    grid = {
+        key: as_instrumented(outcome) for key, outcome in zip(keys, outcomes)
+    }
     _TDVS_CACHE[profile] = grid
     return grid
 

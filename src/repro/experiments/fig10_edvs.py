@@ -13,23 +13,31 @@ from repro.config import DvsConfig
 from repro.experiments.common import (
     EDVS_IDLE_THRESHOLD,
     EDVS_WINDOWS_CYCLES,
-    instrumented_run,
+    as_instrumented,
+    instrumented_job,
 )
 from repro.experiments.registry import ExperimentResult, register
+from repro.sweep.engine import run_sweep
 
 
 @register("fig10", "EDVS power and throughput distributions", "Figure 10")
 def run(profile: str) -> ExperimentResult:
-    """Run the EDVS window sweep and render both distribution families."""
-    baseline = instrumented_run(profile, level="high")
-    runs = {}
+    """Run the EDVS window sweep (via the sweep engine) and render both
+    distribution families."""
+    jobs = [instrumented_job(profile, level="high")]
     for window in EDVS_WINDOWS_CYCLES:
         dvs = DvsConfig(
             policy="edvs",
             window_cycles=window,
             idle_threshold=EDVS_IDLE_THRESHOLD,
         )
-        runs[window] = instrumented_run(profile, level="high", dvs=dvs)
+        jobs.append(instrumented_job(profile, level="high", dvs=dvs))
+    outcomes = run_sweep(jobs)
+    baseline = as_instrumented(outcomes[0])
+    runs = {
+        window: as_instrumented(outcome)
+        for window, outcome in zip(EDVS_WINDOWS_CYCLES, outcomes[1:])
+    }
 
     power_curves = [
         (f"{w // 1000}K", runs[w].power.curve()) for w in EDVS_WINDOWS_CYCLES

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from repro.analysis.compare import PolicyComparison, PolicyOutcome
 from repro.config import DvsConfig
-from repro.experiments.common import instrumented_run
+from repro.experiments.common import as_instrumented, instrumented_job
 from repro.experiments.registry import ExperimentResult, register
+from repro.sweep.engine import run_sweep
 
 BENCHMARKS = ("ipfwdr", "url", "nat", "md4")
 LEVELS = ("low", "med", "high")
@@ -26,31 +27,41 @@ LEVELS = ("low", "med", "high")
 TDVS_OPTIMAL = DvsConfig(policy="tdvs", window_cycles=40_000, top_threshold_mbps=1400.0)
 EDVS_OPTIMAL = DvsConfig(policy="edvs", window_cycles=40_000, idle_threshold=0.10)
 
+#: The policy axis, in render order.
+POLICY_POINTS = (
+    ("none", None),
+    ("edvs", EDVS_OPTIMAL),
+    ("tdvs", TDVS_OPTIMAL),
+)
+
 
 def build_comparison(profile: str) -> PolicyComparison:
-    """Run the full 4 x 3 x 3 grid and collect outcomes."""
+    """Run the full 4 x 3 x 3 grid through the sweep engine."""
+    cells = [
+        (benchmark, level, policy, dvs)
+        for benchmark in BENCHMARKS
+        for level in LEVELS
+        for policy, dvs in POLICY_POINTS
+    ]
+    jobs = [
+        instrumented_job(profile, benchmark=benchmark, level=level, dvs=dvs)
+        for benchmark, level, _policy, dvs in cells
+    ]
+    outcomes = run_sweep(jobs)
     comparison = PolicyComparison(BENCHMARKS, LEVELS)
-    for benchmark in BENCHMARKS:
-        for level in LEVELS:
-            for policy, dvs in (
-                ("none", None),
-                ("edvs", EDVS_OPTIMAL),
-                ("tdvs", TDVS_OPTIMAL),
-            ):
-                run_data = instrumented_run(
-                    profile, benchmark=benchmark, level=level, dvs=dvs
-                )
-                comparison.add(
-                    benchmark,
-                    level,
-                    PolicyOutcome(
-                        policy=policy,
-                        mean_power_w=run_data.result.mean_power_w,
-                        throughput_mbps=run_data.result.throughput_mbps,
-                        loss_fraction=run_data.result.totals.loss_fraction,
-                        power_distribution=run_data.power,
-                    ),
-                )
+    for (benchmark, level, policy, _dvs), outcome in zip(cells, outcomes):
+        run_data = as_instrumented(outcome)
+        comparison.add(
+            benchmark,
+            level,
+            PolicyOutcome(
+                policy=policy,
+                mean_power_w=run_data.result.mean_power_w,
+                throughput_mbps=run_data.result.throughput_mbps,
+                loss_fraction=run_data.result.totals.loss_fraction,
+                power_distribution=run_data.power,
+            ),
+        )
     return comparison
 
 

@@ -37,3 +37,13 @@ class DvsOverheadMeter:
     def total_overhead_j(self) -> float:
         """Total monitor energy charged so far."""
         return self.accountant.overhead_j
+
+    def mean_overhead_w(self, elapsed_s: float) -> float:
+        """Average monitor power over ``elapsed_s`` seconds of run time.
+
+        This is the single definition of ``RunResult.dvs_overhead_w``;
+        the runner and the sweep workers both report it from here.
+        """
+        if elapsed_s <= 0:
+            return 0.0
+        return self.accountant.overhead_j / elapsed_s

@@ -21,29 +21,28 @@ from repro.dvs.vf_table import VfTable
 from repro.errors import ConfigError
 from repro.npu.chip import NpuChip, RunTotals
 from repro.power.overhead import DvsOverheadMeter
+from repro.scenarios.catalog import get_scenario
+from repro.scenarios.source import ScenarioTrafficSource
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
 from repro.traffic.diurnal import DiurnalModel
 from repro.traffic.generator import TrafficSource
 from repro.traffic.sampler import SegmentSpec, TrafficSampler
-from repro.traffic.sizes import ALL_MINIMUM, IMIX_CLASSIC, IMIX_DOWNSTREAM
-
-_SIZE_MIXES = {
-    "imix": IMIX_CLASSIC,
-    "imix_downstream": IMIX_DOWNSTREAM,
-    "min64": ALL_MINIMUM,
-}
+from repro.traffic.sizes import SIZE_MIXES
 
 
 def resolve_offered_load_bps(config: RunConfig) -> float:
     """Offered load in bits/second from a run's traffic config.
 
     Named levels resolve through the diurnal sampler (the NLANR-like day
-    profile); explicit loads pass through.
+    profile); explicit loads pass through; scenarios report their
+    duration-weighted mean load.
     """
     traffic = config.traffic
     if traffic.offered_load_mbps is not None:
         return traffic.offered_load_mbps * 1e6
+    if traffic.scenario is not None:
+        return get_scenario(traffic.scenario).mean_load_mbps * 1e6
     sampler = TrafficSampler(DiurnalModel())
     return sampler.level_load_bps(traffic.level)
 
@@ -83,23 +82,33 @@ class SimulationRun:
             self.chip.add_sink(sink)
 
         # -- traffic -----------------------------------------------------
-        size_mix = _SIZE_MIXES[config.traffic.size_mix]
-        spec = SegmentSpec(
-            level=config.traffic.level or "explicit",
-            offered_load_bps=resolve_offered_load_bps(config),
-            duration_s=1.0,  # actual stop time comes from duration_cycles
-            process=config.traffic.process,
-            burst_ratio=config.traffic.burst_ratio,
-            burst_fraction=config.traffic.burst_fraction,
-        )
-        self.traffic = TrafficSource.from_spec(
-            self.sim,
-            self.chip.deliver,
-            spec,
-            size_mix=size_mix,
-            num_ports=config.npu.num_ports,
-            rng_streams=self.rng_streams,
-        )
+        if config.traffic.scenario is not None:
+            self.traffic = ScenarioTrafficSource.from_scenario(
+                self.sim,
+                self.chip.deliver,
+                get_scenario(config.traffic.scenario),
+                duration_ps=self.duration_ps,
+                num_ports=config.npu.num_ports,
+                rng_streams=self.rng_streams,
+            )
+        else:
+            size_mix = SIZE_MIXES[config.traffic.size_mix]
+            spec = SegmentSpec(
+                level=config.traffic.level or "explicit",
+                offered_load_bps=resolve_offered_load_bps(config),
+                duration_s=1.0,  # actual stop time comes from duration_cycles
+                process=config.traffic.process,
+                burst_ratio=config.traffic.burst_ratio,
+                burst_fraction=config.traffic.burst_fraction,
+            )
+            self.traffic = TrafficSource.from_spec(
+                self.sim,
+                self.chip.deliver,
+                spec,
+                size_mix=size_mix,
+                num_ports=config.npu.num_ports,
+                rng_streams=self.rng_streams,
+            )
 
         # -- DVS governor ---------------------------------------------------
         self.governor = None
@@ -163,9 +172,8 @@ class SimulationRun:
         self.sim.run(until_ps=stop_ps)
 
         totals = self.chip.totals()
-        elapsed_s = totals.duration_s or 1.0
         overhead_w = (
-            self.chip.accountant.overhead_j / elapsed_s
+            self.overhead_meter.mean_overhead_w(totals.duration_s)
             if self.overhead_meter is not None
             else 0.0
         )

@@ -1,0 +1,38 @@
+"""Declarative traffic scenarios and the built-in workload catalog.
+
+* :mod:`~repro.scenarios.spec` — :class:`Scenario` /
+  :class:`ScenarioSegment`: named, documented workloads composed of
+  timed traffic phases;
+* :mod:`~repro.scenarios.catalog` — the built-in catalog (flash crowd,
+  DDoS storm, diurnal replays, failover, on/off bursting, saturation,
+  size-mix drift) plus the registry for custom entries;
+* :mod:`~repro.scenarios.source` — the simulator-bound playback source.
+
+A :class:`~repro.config.RunConfig` selects a scenario by name::
+
+    RunConfig(traffic=TrafficConfig(scenario="flash_crowd",
+                                    offered_load_mbps=None))
+
+and scenarios form a sweep axis via ``traffic="scenario:flash_crowd"``
+tokens in :class:`repro.sweep.SweepSpec`.
+"""
+
+from repro.scenarios.catalog import (
+    all_scenarios,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.source import PiecewiseArrivalProcess, ScenarioTrafficSource
+from repro.scenarios.spec import Scenario, ScenarioSegment
+
+__all__ = [
+    "PiecewiseArrivalProcess",
+    "Scenario",
+    "ScenarioSegment",
+    "ScenarioTrafficSource",
+    "all_scenarios",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]

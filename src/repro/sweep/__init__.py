@@ -1,0 +1,48 @@
+"""Parallel design-space sweep orchestration.
+
+* :mod:`~repro.sweep.spec` — :class:`SweepSpec` grids and picklable
+  :class:`Job` units keyed by config hash;
+* :mod:`~repro.sweep.engine` — :func:`run_sweep`: serial or
+  process-pool execution with deterministic, order-independent results;
+* :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL result
+  log that doubles as the resume/skip cache.
+
+Quickstart::
+
+    from repro.sweep import SweepSpec, ResultStore, run_sweep
+
+    spec = SweepSpec(
+        policies=("tdvs",),
+        thresholds_mbps=(800.0, 1000.0, 1200.0, 1400.0),
+        windows_cycles=(20_000, 40_000, 60_000, 80_000),
+        traffic=("level:high", "scenario:flash_crowd"),
+        duration_cycles=400_000,
+    )
+    outcomes = run_sweep(spec, workers=4, store=ResultStore("sweep.jsonl"))
+"""
+
+from repro.sweep.engine import (
+    WORKERS_ENV_VAR,
+    default_workers,
+    progress_printer,
+    run_job,
+    run_sweep,
+    summarize,
+)
+from repro.sweep.spec import Job, SweepSpec, config_hash, parse_traffic_token
+from repro.sweep.store import ResultStore, SweepOutcome
+
+__all__ = [
+    "Job",
+    "ResultStore",
+    "SweepOutcome",
+    "SweepSpec",
+    "WORKERS_ENV_VAR",
+    "config_hash",
+    "default_workers",
+    "parse_traffic_token",
+    "progress_printer",
+    "run_job",
+    "run_sweep",
+    "summarize",
+]

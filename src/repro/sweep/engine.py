@@ -1,0 +1,187 @@
+"""The parallel sweep runner.
+
+:func:`run_sweep` takes a list of :class:`~repro.sweep.spec.Job` objects
+(or a :class:`~repro.sweep.spec.SweepSpec`) and executes them — serially
+for ``workers=1``, or fanned out over a ``ProcessPoolExecutor``
+otherwise.  Every job is self-contained (config dict + seed), so results
+are bit-identical regardless of worker count or completion order; the
+returned outcomes always follow the submitted job order.
+
+A :class:`~repro.sweep.store.ResultStore` makes sweeps resumable:
+completed job ids are skipped and their stored outcomes returned
+instead, so re-running a half-finished grid only pays for the missing
+cells.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.loc.analyzer import DistributionAnalyzer
+from repro.loc.builtin import (
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+from repro.runner import run_simulation
+from repro.sweep.spec import Job, SweepSpec
+from repro.sweep.store import ResultStore, SweepOutcome
+
+#: Environment override for the default worker count (see
+#: :func:`default_workers`); experiments consult it so ``repro run``
+#: figures parallelize without new plumbing through every profile.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: Progress callback: (completed_count, total_count, outcome).
+ProgressFn = Callable[[int, int, SweepOutcome], None]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_SWEEP_WORKERS`` (default: serial)."""
+    value = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not value:
+        return 1
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ExperimentError(
+            f"{WORKERS_ENV_VAR} must be an integer, got {value!r}"
+        ) from None
+    return max(1, workers)
+
+
+def run_job(job: Job) -> SweepOutcome:
+    """Execute one job in this process.
+
+    This is the single execution path shared by the serial loop, the
+    process-pool workers and :func:`repro.experiments.common.instrumented_run`.
+    Determinism comes from the job itself: the config carries the seed,
+    and every RNG stream derives from it.
+    """
+    config = job.run_config()
+    sinks = []
+    power_analyzer = throughput_analyzer = None
+    if job.span is not None:
+        power_analyzer = DistributionAnalyzer(
+            power_distribution_formula(span=job.span)
+        )
+        throughput_analyzer = DistributionAnalyzer(
+            throughput_distribution_formula(span=job.span)
+        )
+        sinks = [power_analyzer, throughput_analyzer]
+    result = run_simulation(config, sinks=sinks)
+    return SweepOutcome(
+        job_id=job.job_id,
+        label=job.label,
+        result=result,
+        power_dist=power_analyzer.finish() if power_analyzer else None,
+        throughput_dist=throughput_analyzer.finish() if throughput_analyzer else None,
+    )
+
+
+def run_sweep(
+    jobs: Union[SweepSpec, Sequence[Job]],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[SweepOutcome]:
+    """Run a sweep and return outcomes in job order.
+
+    Parameters
+    ----------
+    jobs:
+        A job list, or a :class:`SweepSpec` to expand.
+    workers:
+        Process count; ``None`` uses :func:`default_workers`, ``1`` runs
+        serially in-process (no executor, easiest to debug/profile).
+    store:
+        Optional :class:`ResultStore`; jobs whose ids are already
+        complete in the store are skipped (their cached outcomes are
+        returned with ``cached=True``) and fresh outcomes are appended.
+    progress:
+        Called after each job completes (cached hits included).
+    """
+    if isinstance(jobs, SweepSpec):
+        jobs = jobs.jobs()
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+
+    total = len(jobs)
+    done = 0
+    outcomes: List[Optional[SweepOutcome]] = [None] * total
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        cached = store.get(job.job_id) if store is not None else None
+        if cached is not None:
+            outcomes[index] = cached
+            done += 1
+            if progress is not None:
+                progress(done, total, cached)
+        else:
+            pending.append(index)
+
+    def finish(index: int, outcome: SweepOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        if store is not None:
+            store.add(outcome)
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    if workers == 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, run_job(jobs[index]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(run_job, jobs[index]): index for index in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    finish(futures[future], future.result())
+    assert all(outcome is not None for outcome in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
+def summarize(outcomes: Sequence[SweepOutcome]) -> str:
+    """A text table of sweep outcomes (the CLI's summary report)."""
+    header = (
+        f"{'job':32s} {'power(W)':>9s} {'tput(Mbps)':>10s} "
+        f"{'loss%':>6s} {'trans':>6s} {'cached':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        label = outcome.label or outcome.job_id
+        lines.append(
+            f"{label[:32]:32s} {outcome.mean_power_w:9.3f} "
+            f"{outcome.throughput_mbps:10.1f} "
+            f"{outcome.result.totals.loss_fraction * 100:6.2f} "
+            f"{outcome.result.governor_transitions:6d} "
+            f"{'yes' if outcome.cached else 'no':>6s}"
+        )
+    return "\n".join(lines)
+
+
+def progress_printer(stream=None) -> ProgressFn:
+    """A progress callback that writes one line per completed job."""
+    out = stream or sys.stderr
+    start = time.monotonic()
+
+    def report(done: int, total: int, outcome: SweepOutcome) -> None:
+        elapsed = time.monotonic() - start
+        tag = " (cached)" if outcome.cached else ""
+        out.write(
+            f"[{done:3d}/{total}] {elapsed:7.1f}s "
+            f"{outcome.label or outcome.job_id}{tag}\n"
+        )
+        out.flush()
+
+    return report

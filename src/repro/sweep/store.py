@@ -1,0 +1,188 @@
+"""Sweep outcomes and their JSONL persistence.
+
+:class:`SweepOutcome` is the full result of one job — the
+:class:`~repro.runner.RunResult` plus the optional formula (2)/(3)
+distributions — and it round-trips losslessly through plain dicts so a
+:class:`ResultStore` can keep one JSON line per completed job.  The
+store doubles as the sweep cache: job ids are config hashes, so an
+interrupted or repeated sweep skips every job whose line is already on
+disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.config import RunConfig
+from repro.errors import ExperimentError
+from repro.loc.analyzer import DistributionResult
+from repro.npu.chip import MeSummary, RunTotals
+from repro.runner import RunResult
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one finished sweep job reports."""
+
+    job_id: str
+    label: str
+    result: RunResult
+    power_dist: Optional[DistributionResult] = None
+    throughput_dist: Optional[DistributionResult] = None
+    #: True when this outcome was loaded from a store instead of run.
+    cached: bool = False
+
+    @property
+    def mean_power_w(self) -> float:
+        """Mean chip power over the run."""
+        return self.result.mean_power_w
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Forwarded throughput over the run."""
+        return self.result.throughput_mbps
+
+    # -- dict round-trip ------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (one store line)."""
+        return {
+            "job_id": self.job_id,
+            "label": self.label,
+            "result": _result_to_dict(self.result),
+            "power_dist": _dist_to_dict(self.power_dist),
+            "throughput_dist": _dist_to_dict(self.throughput_dist),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepOutcome":
+        """Rebuild from :meth:`to_dict` output."""
+        try:
+            return cls(
+                job_id=data["job_id"],
+                label=data.get("label", ""),
+                result=_result_from_dict(data["result"]),
+                power_dist=_dist_from_dict(data.get("power_dist")),
+                throughput_dist=_dist_from_dict(data.get("throughput_dist")),
+                cached=True,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed sweep record: {exc!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# RunResult / DistributionResult <-> dict
+# ---------------------------------------------------------------------------
+def _result_to_dict(result: RunResult) -> Dict[str, Any]:
+    return {
+        "config": result.config.to_dict(),
+        "totals": asdict(result.totals),
+        "governor_policy": result.governor_policy,
+        "governor_transitions": result.governor_transitions,
+        "governor_windows": result.governor_windows,
+        "dvs_overhead_w": result.dvs_overhead_w,
+    }
+
+
+def _result_from_dict(data: Dict[str, Any]) -> RunResult:
+    totals = dict(data["totals"])
+    totals["me_summaries"] = [MeSummary(**me) for me in totals.get("me_summaries", [])]
+    return RunResult(
+        config=RunConfig.from_dict(data["config"]),
+        totals=RunTotals(**totals),
+        governor_policy=data["governor_policy"],
+        governor_transitions=data["governor_transitions"],
+        governor_windows=data["governor_windows"],
+        dvs_overhead_w=data["dvs_overhead_w"],
+    )
+
+
+def _dist_to_dict(dist: Optional[DistributionResult]) -> Optional[Dict[str, Any]]:
+    if dist is None:
+        return None
+    data = asdict(dist)
+    # JSON has no NaN literal; empty distributions carry NaN min/max.
+    for key in ("value_min", "value_max"):
+        if isinstance(data[key], float) and math.isnan(data[key]):
+            data[key] = None
+    return data
+
+
+def _dist_from_dict(data: Optional[Dict[str, Any]]) -> Optional[DistributionResult]:
+    if data is None:
+        return None
+    rebuilt = dict(data)
+    for key in ("value_min", "value_max"):
+        if rebuilt.get(key) is None:
+            rebuilt[key] = math.nan
+    return DistributionResult(**rebuilt)
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+class ResultStore:
+    """Config-hash keyed JSONL store of sweep outcomes.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to load from / append to.  ``None`` keeps the store
+        in memory only (useful as a per-process cache in tests).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._outcomes: Dict[str, SweepOutcome] = {}
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line_no, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ExperimentError(
+                            f"{path}:{line_no}: bad JSON in result store: {exc}"
+                        ) from None
+                    self._records[record["job_id"]] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def completed_ids(self) -> List[str]:
+        """Job ids with a stored outcome, sorted."""
+        return sorted(self._records)
+
+    def get(self, job_id: str) -> Optional[SweepOutcome]:
+        """The stored outcome for a job id, or ``None``."""
+        if job_id not in self._records:
+            return None
+        if job_id not in self._outcomes:
+            self._outcomes[job_id] = SweepOutcome.from_dict(self._records[job_id])
+        return self._outcomes[job_id]
+
+    def add(self, outcome: SweepOutcome) -> None:
+        """Record a fresh outcome (appends one JSONL line when backed)."""
+        record = outcome.to_dict()
+        self._records[outcome.job_id] = record
+        # Anything served back out of the store is, by definition, cached.
+        self._outcomes[outcome.job_id] = replace(outcome, cached=True)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def iter_outcomes(self) -> Iterator[SweepOutcome]:
+        """All stored outcomes, in job-id order."""
+        for job_id in self.completed_ids():
+            outcome = self.get(job_id)
+            assert outcome is not None
+            yield outcome

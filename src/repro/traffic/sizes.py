@@ -43,11 +43,17 @@ class PacketSizeMix:
             cumulative += probability
             self._cdf.append(cumulative)
         self._cdf[-1] = 1.0
+        # The expectation lies in [min size, max size] by definition, but
+        # normalized probabilities need not sum to exactly 1.0 in floats,
+        # so the raw sum can drift an ulp outside — clamp it back in.
+        sizes = [size for size, _ in self.points]
+        mean = sum(size * probability for size, probability in self.points)
+        self._mean_bytes = min(max(mean, min(sizes)), max(sizes))
 
     @property
     def mean_bytes(self) -> float:
         """Expected packet size in bytes."""
-        return sum(size * probability for size, probability in self.points)
+        return self._mean_bytes
 
     @property
     def mean_bits(self) -> float:
@@ -71,3 +77,12 @@ IMIX_DOWNSTREAM = PacketSizeMix([(40, 3), (576, 3), (1500, 4)])
 
 #: Uniform small packets — the worst case for per-packet processing cost.
 ALL_MINIMUM = PacketSizeMix([(64, 1)])
+
+#: The configuration-name registry: the single mapping that
+#: ``TrafficConfig.size_mix``, scenario segments and the runner all
+#: resolve through.
+SIZE_MIXES = {
+    "imix": IMIX_CLASSIC,
+    "imix_downstream": IMIX_DOWNSTREAM,
+    "min64": ALL_MINIMUM,
+}

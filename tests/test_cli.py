@@ -46,6 +46,53 @@ def test_simulate_with_policy(capsys):
     assert "VF transitions" in out
 
 
+def test_scenarios_list(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "flash_crowd" in out
+    assert "ddos_min64" in out
+    # At least 8 catalog entries plus the header line.
+    assert len(out.strip().splitlines()) >= 9
+
+
+def test_scenarios_detail(capsys):
+    assert main(["scenarios", "link_failover"]) == 0
+    out = capsys.readouterr().out
+    assert "Link-failover" in out
+    assert "Mbps" in out
+
+
+def test_scenarios_run(capsys):
+    assert main([
+        "scenarios", "overnight_trough", "--run", "--profile", "bench",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mean power" in out
+    assert "forwarded" in out
+
+
+def test_scenarios_unknown_raises():
+    with pytest.raises(Exception):
+        main(["scenarios", "no_such_workload"])
+
+
+def test_sweep_small_grid(capsys, tmp_path):
+    store = str(tmp_path / "sweep.jsonl")
+    argv = [
+        "sweep", "--policy", "tdvs", "--threshold", "1200",
+        "--window", "40000", "--traffic", "load:800",
+        "--profile", "bench", "--workers", "1", "--store", store, "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 jobs" in out
+    assert "power(W)" in out
+    # Second invocation hits the store cache.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "yes" in out
+
+
 def test_loc_gen_to_stdout(capsys):
     assert main(["loc-gen", "cycle(deq[i]) - cycle(enq[i]) <= 50"]) == 0
     out = capsys.readouterr().out
