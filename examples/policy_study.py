@@ -1,0 +1,59 @@
+"""Scenario-conditioned DVS policy study, end to end.
+
+Runs the study engine (:mod:`repro.studies`) over a few catalog
+workloads: every (policy, threshold, window) candidate is simulated
+through the parallel sweep engine with per-scenario LOC assertion gates
+attached, then reduced to the per-scenario optimal-policy map — the
+cheapest configuration *whose assertions hold* — plus the full
+power / loss / latency Pareto front per scenario.  Re-running the
+script skips every completed job via the store cache.
+
+Usage::
+
+    PYTHONPATH=src python examples/policy_study.py [workers]
+"""
+
+import sys
+
+from repro.studies import StudySpec, run_study
+from repro.studies.report import render_markdown, render_pareto_text, render_text
+from repro.sweep import ResultStore, progress_printer
+
+SCENARIOS = ("flash_crowd", "link_failover", "bursty_onoff", "overnight_trough")
+
+
+def main() -> int:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    spec = StudySpec(
+        scenarios=SCENARIOS,
+        policies=("tdvs", "edvs"),
+        thresholds_mbps=(1000.0, 1400.0),  # performance-first vs power-first
+        windows_cycles=(20_000, 80_000),
+        duration_cycles=400_000,
+        span=20,
+        objective="min_energy",
+    )
+    print(f"{spec.job_count()} jobs across {len(SCENARIOS)} scenarios, "
+          f"{workers} workers")
+    result = run_study(
+        spec,
+        workers=workers,
+        store=ResultStore("policy_study_results.jsonl"),
+        progress=progress_printer(),
+    )
+
+    print()
+    print(render_text(result.policy_map))
+    for verdict in result.policy_map:
+        print()
+        print(render_pareto_text(verdict))
+
+    with open("policy_study_report.md", "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(result.policy_map))
+    print("\nwrote policy_study_report.md "
+          f"({result.cached_jobs}/{result.total_jobs} jobs from cache)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.config import (
 from repro.errors import ReproError
 from repro.runner import RunResult, SimulationRun, run_simulation
 from repro.scenarios import Scenario, get_scenario, list_scenarios
+from repro.studies import PolicyMap, StudySpec, run_study
 from repro.sweep import ResultStore, SweepSpec, run_sweep
 from repro.version import PAPER, __version__
 
@@ -46,6 +47,7 @@ __all__ = [
     "MemoryConfig",
     "NpuConfig",
     "PAPER",
+    "PolicyMap",
     "PowerConfig",
     "ReproError",
     "ResultStore",
@@ -53,11 +55,13 @@ __all__ = [
     "RunResult",
     "Scenario",
     "SimulationRun",
+    "StudySpec",
     "SweepSpec",
     "TrafficConfig",
     "__version__",
     "get_scenario",
     "list_scenarios",
     "run_simulation",
+    "run_study",
     "run_sweep",
 ]

@@ -60,6 +60,10 @@ class PercentileSurface:
         """True when every design point has a result."""
         return len(self._cells) == len(self.row_values) * len(self.col_values)
 
+    def has_result(self, row: float, col: float) -> bool:
+        """True when the design point has a result attached."""
+        return (row, col) in self._cells
+
     def value_at(self, row: float, col: float) -> float:
         """The level cutoff at one design point."""
         try:

@@ -9,14 +9,17 @@ Usage::
     repro scenarios                         # list the workload catalog
     repro scenarios flash_crowd --run       # play one scenario
     repro sweep --policy tdvs --workers 4   # parallel design-space sweep
+    repro study --scenario all --policy tdvs,edvs --workers 4
     repro loc-gen "FORMULA" --out analyzer.py
 
 ``repro simulate`` runs a single configuration and prints the totals;
 ``repro sweep`` expands a policy/threshold/window/traffic/seed grid and
 fans it out over worker processes (see :mod:`repro.sweep`);
 ``repro scenarios`` lists and runs the built-in workload catalog
-(:mod:`repro.scenarios`); ``repro loc-gen`` emits a standalone LOC
-analyzer script for a formula.
+(:mod:`repro.scenarios`); ``repro study`` runs the scenario-conditioned
+policy study (:mod:`repro.studies`) and prints the per-scenario
+optimal (threshold, window) map; ``repro loc-gen`` emits a standalone
+LOC analyzer script for a formula.
 """
 
 from __future__ import annotations
@@ -157,6 +160,94 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach the formula (2)/(3) distribution analyzers to each job",
     )
     sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    study_parser = sub.add_parser(
+        "study",
+        help="scenario-conditioned DVS policy study: per-scenario optimal "
+        "(threshold, window) maps with LOC-assertion gating",
+    )
+    study_parser.add_argument(
+        "--scenario",
+        action="append",
+        help="scenario names (repeatable, comma lists allowed; "
+        "'all' or omitted: the whole catalog)",
+    )
+    study_parser.add_argument(
+        "--policy",
+        action="append",
+        help="competing policies (repeatable, comma lists allowed; "
+        "default: tdvs,edvs)",
+    )
+    study_parser.add_argument(
+        "--objective",
+        default="min_energy",
+        help="study objective (default: min_energy; see repro.studies)",
+    )
+    study_parser.add_argument(
+        "--threshold",
+        action="append",
+        type=float,
+        help="TDVS top-threshold axis in Mbps (repeatable; default: the "
+        "paper's 800/1000/1200/1400 grid)",
+    )
+    study_parser.add_argument(
+        "--window",
+        action="append",
+        type=int,
+        help="monitor-window axis in cycles (repeatable; default: the "
+        "paper's 20k/40k/60k/80k grid)",
+    )
+    study_parser.add_argument("--benchmark", default="ipfwdr")
+    study_parser.add_argument(
+        "--seed", action="append", type=int, help="seed axis (repeatable)"
+    )
+    study_parser.add_argument(
+        "--profile",
+        default="quick",
+        choices=("bench", "quick", "paper"),
+        help="run-length profile (default: quick)",
+    )
+    study_parser.add_argument(
+        "--latency-slack",
+        type=float,
+        default=None,
+        help="multiplier on the quietest-phase pace in the derived LOC "
+        "span-latency bound (default: 2.0)",
+    )
+    study_parser.add_argument(
+        "--loss-margin",
+        type=float,
+        default=None,
+        help="tolerated absolute loss-fraction excess over the ungoverned "
+        "baseline (default: 0.02)",
+    )
+    study_parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: serial)"
+    )
+    study_parser.add_argument(
+        "--store",
+        default=None,
+        help="JSONL result store: completed jobs are skipped on re-runs",
+    )
+    study_parser.add_argument(
+        "--json", action="store_true", help="emit the policy map as JSON"
+    )
+    study_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the full markdown report (map + per-scenario Pareto fronts)",
+    )
+    study_parser.add_argument(
+        "--pareto",
+        action="store_true",
+        help="also print per-scenario Pareto front tables (text output)",
+    )
+    study_parser.add_argument(
+        "--out", default=None, help="write the report to this file instead of stdout"
+    )
+    study_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
 
@@ -355,6 +446,82 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _split_csv(values: Optional[List[str]]) -> List[str]:
+    """Flatten repeatable, comma-separated CLI values.
+
+    ``["tdvs,edvs", "combined"]`` becomes ``["tdvs", "edvs", "combined"]``.
+    """
+    out: List[str] = []
+    for value in values or []:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def _cmd_study(args) -> int:
+    from repro.experiments.common import cycles_for, span_for
+    from repro.studies import StudySpec, run_study
+    from repro.studies.report import (
+        render_json,
+        render_markdown,
+        render_pareto_text,
+        render_text,
+    )
+    from repro.sweep import ResultStore, progress_printer
+
+    scenarios = [s for s in _split_csv(args.scenario) if s != "all"]
+    policies = _split_csv(args.policy) or ["tdvs", "edvs"]
+    overrides = {}
+    if args.latency_slack is not None:
+        overrides["latency_slack"] = args.latency_slack
+    if args.loss_margin is not None:
+        overrides["loss_margin"] = args.loss_margin
+    spec = StudySpec(
+        scenarios=tuple(scenarios),
+        policies=tuple(policies),
+        thresholds_mbps=tuple(args.threshold or StudySpec.thresholds_mbps),
+        windows_cycles=tuple(args.window or StudySpec.windows_cycles),
+        benchmark=args.benchmark,
+        seeds=tuple(args.seed or StudySpec.seeds),
+        duration_cycles=cycles_for(args.profile),
+        span=span_for(args.profile),
+        objective=args.objective,
+        **overrides,
+    )
+    spec.validate()
+    store = ResultStore(args.store) if args.store else None
+    jobs_by_scenario = spec.jobs_by_scenario()
+    total_jobs = sum(len(jobs) for _, jobs in jobs_by_scenario)
+    print(
+        f"study: {len(jobs_by_scenario)} scenarios, "
+        f"{total_jobs} jobs, objective={spec.objective}, "
+        f"workers={args.workers if args.workers is not None else 'auto'}, "
+        f"store={args.store or 'none'}"
+    )
+    result = run_study(
+        spec,
+        workers=args.workers,
+        store=store,
+        progress=None if args.quiet else progress_printer(),
+        jobs_by_scenario=jobs_by_scenario,
+    )
+    if args.json:
+        report = render_json(result.policy_map)
+    elif args.markdown:
+        report = render_markdown(result.policy_map)
+    else:
+        report = render_text(result.policy_map) + "\n"
+        if args.pareto:
+            for verdict in result.policy_map:
+                report += "\n" + render_pareto_text(verdict) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
 def _cmd_loc_gen(args) -> int:
     source = generate_analyzer_source(args.formula)
     if args.out:
@@ -379,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenarios(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "study":
+        return _cmd_study(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

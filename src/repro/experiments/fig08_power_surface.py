@@ -16,9 +16,30 @@ from repro.experiments.common import (
     tdvs_design_space,
 )
 from repro.experiments.registry import ExperimentResult, register
+from repro.studies.objective import select_design_point
 
 #: The curve level the paper's surfaces read off.
 SURFACE_LEVEL = 0.8
+
+
+def surface_optimum(surface: PercentileSurface, direction: str):
+    """Read a surface optimum off through the study reduction.
+
+    Row-major cell order with first-wins ties — the same deterministic
+    :func:`~repro.studies.objective.select_design_point` rule the study
+    engine applies to per-scenario winners, so figure read-offs and
+    policy-map winners can never disagree on tie-breaking.  Like
+    ``PercentileSurface.argmin``/``argmax``, it tolerates a partially
+    filled surface by reading only the populated cells.
+    """
+    cells = [
+        ((row, col), surface.value_at(row, col))
+        for row in surface.row_values
+        for col in surface.col_values
+        if surface.has_result(row, col)
+    ]
+    (row, col), value = select_design_point(cells, direction)
+    return row, col, value
 
 
 def build_power_surface(profile: str) -> PercentileSurface:
@@ -50,7 +71,7 @@ def run(profile: str) -> ExperimentResult:
         col_label="window",
         title="Figure 8: power (W) at the 80% CDF level",
     )
-    low_thr, low_win, low_val = surface.argmin()
+    low_thr, low_win, low_val = surface_optimum(surface, "min")
     text += (
         f"\n\nlowest-power design point: threshold {low_thr:.0f} Mbps, "
         f"window {low_win} cycles ({low_val:.3f} W)"
@@ -61,6 +82,6 @@ def run(profile: str) -> ExperimentResult:
         data={
             "grid": surface.grid(),
             "argmin": (low_thr, low_win, low_val),
-            "argmax": surface.argmax(),
+            "argmax": surface_optimum(surface, "max"),
         },
     )

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     tdvs_design_space,
 )
 from repro.experiments.registry import ExperimentResult, register
-from repro.experiments.fig08_power_surface import SURFACE_LEVEL
+from repro.experiments.fig08_power_surface import SURFACE_LEVEL, surface_optimum
 
 
 def build_throughput_surface(profile: str) -> PercentileSurface:
@@ -49,7 +49,7 @@ def run(profile: str) -> ExperimentResult:
         col_label="window",
         title="Figure 9: throughput (Mbps) at the 80% CCDF level",
     )
-    hi_thr, hi_win, hi_val = surface.argmax()
+    hi_thr, hi_win, hi_val = surface_optimum(surface, "max")
     text += (
         f"\n\nbest-throughput design point: threshold {hi_thr:.0f} Mbps, "
         f"window {hi_win} cycles ({hi_val:.0f} Mbps)"
@@ -60,6 +60,6 @@ def run(profile: str) -> ExperimentResult:
         data={
             "grid": surface.grid(),
             "argmax": (hi_thr, hi_win, hi_val),
-            "argmin": surface.argmin(),
+            "argmin": surface_optimum(surface, "min"),
         },
     )

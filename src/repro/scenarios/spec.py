@@ -150,6 +150,24 @@ class Scenario:
         """Highest per-segment offered load."""
         return max(s.offered_load_mbps for s in self.segments)
 
+    @property
+    def min_load_mbps(self) -> float:
+        """Lowest per-segment offered load (the quietest phase)."""
+        return min(s.offered_load_mbps for s in self.segments)
+
+    @property
+    def mean_packet_bytes(self) -> float:
+        """Duration-weighted mean packet size over the whole run.
+
+        Weights segment size-mix means by segment weight; an
+        approximation (segments also differ in load), good enough for
+        deriving order-of-magnitude latency bounds in the study engine.
+        """
+        return (
+            sum(s.weight * s.mix.mean_bytes for s in self.segments)
+            / self.total_weight
+        )
+
     def segment_spans_ps(self, duration_ps: int) -> List[Tuple[int, ScenarioSegment]]:
         """``(end_ps, segment)`` boundaries over a run of ``duration_ps``.
 

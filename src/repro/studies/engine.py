@@ -1,0 +1,89 @@
+"""The study runner: one sweep, one reduction, one map.
+
+:func:`run_study` expands a :class:`~repro.studies.spec.StudySpec` into
+jobs for every scenario, executes them through a *single*
+:func:`~repro.sweep.engine.run_sweep` call (so worker processes drain
+the whole study, not one scenario at a time), and reduces the outcomes
+into a :class:`~repro.studies.policymap.PolicyMap`.  Results are
+bit-identical for any worker count — every job carries its own seed and
+the reduction is deterministic in job order — and a
+:class:`~repro.sweep.store.ResultStore` makes interrupted studies
+resumable cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.studies.policymap import PolicyMap
+from repro.studies.spec import StudySpec
+from repro.sweep.engine import ProgressFn, run_sweep
+from repro.sweep.spec import Job
+from repro.sweep.store import ResultStore, SweepOutcome
+
+
+@dataclass
+class StudyResult:
+    """Everything one finished study reports."""
+
+    spec: StudySpec
+    policy_map: PolicyMap
+    #: Outcomes grouped per scenario, in spec order (for deeper digging
+    #: than the map exposes).
+    outcomes_by_scenario: List[Tuple[str, List[SweepOutcome]]]
+
+    @property
+    def total_jobs(self) -> int:
+        """How many design points the study covered."""
+        return sum(len(outcomes) for _, outcomes in self.outcomes_by_scenario)
+
+    @property
+    def cached_jobs(self) -> int:
+        """How many outcomes came from the result store."""
+        return sum(
+            1
+            for _, outcomes in self.outcomes_by_scenario
+            for outcome in outcomes
+            if outcome.cached
+        )
+
+
+def run_study(
+    spec: StudySpec,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+    jobs_by_scenario: Optional[Sequence[Tuple[str, List[Job]]]] = None,
+) -> StudyResult:
+    """Run a study and reduce it to its policy map.
+
+    Parameters mirror :func:`~repro.sweep.engine.run_sweep`; the job
+    list is the concatenation of every scenario's grid, deduplicated
+    nothing — scenario-distinct configs never collide.
+    ``jobs_by_scenario`` accepts a precomputed
+    :meth:`StudySpec.jobs_by_scenario` expansion so callers that
+    already expanded the grid (the CLI prints the job count up front)
+    do not pay for a second expansion.
+    """
+    per_scenario = (
+        list(jobs_by_scenario)
+        if jobs_by_scenario is not None
+        else spec.jobs_by_scenario()
+    )
+    flat_jobs = [job for _, jobs in per_scenario for job in jobs]
+    flat_outcomes = run_sweep(flat_jobs, workers=workers, store=store, progress=progress)
+
+    outcomes_by_scenario: List[Tuple[str, List[SweepOutcome]]] = []
+    cursor = 0
+    for scenario_name, jobs in per_scenario:
+        chunk = flat_outcomes[cursor : cursor + len(jobs)]
+        cursor += len(jobs)
+        outcomes_by_scenario.append((scenario_name, list(chunk)))
+
+    policy_map = PolicyMap.build(spec, outcomes_by_scenario)
+    return StudyResult(
+        spec=spec,
+        policy_map=policy_map,
+        outcomes_by_scenario=outcomes_by_scenario,
+    )

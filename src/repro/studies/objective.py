@@ -1,0 +1,127 @@
+"""Study objectives and the deterministic design-point reduction.
+
+An :class:`Objective` names the scalar a study optimizes (mean power,
+forwarded throughput, loss fraction) and its direction.  The actual
+selection goes through :func:`select_design_point`, a deterministic
+argbest over ``(key, value)`` pairs that the figure experiments (the
+Figure 8/9 surface read-offs) and the study engine's per-scenario winner
+picks share — one reduction, one tie-break rule, everywhere.
+
+This module is deliberately import-light (``repro.errors`` only) so the
+experiment modules can consult it without dragging the simulation stack
+in at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigError
+
+K = TypeVar("K")
+
+_DIRECTIONS = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What a study optimizes.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the CLI's ``--objective`` values).
+    description:
+        One-line human label for reports.
+    direction:
+        ``"min"`` or ``"max"``.
+    metric:
+        Key into a candidate's metric dict (see
+        :class:`~repro.studies.policymap.CandidateSummary.metrics`).
+    """
+
+    name: str
+    description: str
+    direction: str
+    metric: str
+
+    def better(self, a: float, b: float) -> bool:
+        """True when ``a`` beats ``b`` under this objective."""
+        return a < b if self.direction == "min" else a > b
+
+
+#: The built-in objective registry.  Every objective is *subject to* the
+#: study's LOC-assertion and loss gates — "min_energy" reads in full as
+#: "minimum mean power among configurations whose assertions hold".
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective(
+            name="min_energy",
+            description="lowest mean chip power (W)",
+            direction="min",
+            metric="power_w",
+        ),
+        Objective(
+            name="max_throughput",
+            description="highest forwarded throughput (Mbps)",
+            direction="max",
+            metric="throughput_mbps",
+        ),
+        Objective(
+            name="min_loss",
+            description="lowest packet-loss fraction",
+            direction="min",
+            metric="loss_fraction",
+        ),
+        Objective(
+            name="min_latency",
+            description="lowest mean span forwarding latency (us)",
+            direction="min",
+            metric="latency_mean_us",
+        ),
+    )
+}
+
+
+def get_objective(name: str) -> Objective:
+    """Look an objective up by name."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown objective {name!r}; known: {sorted(OBJECTIVES)}"
+        ) from None
+
+
+def list_objectives() -> List[str]:
+    """All registered objective names, sorted."""
+    return sorted(OBJECTIVES)
+
+
+def select_design_point(
+    candidates: Sequence[Tuple[K, float]],
+    direction: str = "min",
+) -> Tuple[K, float]:
+    """Deterministic argbest over ``(key, value)`` pairs.
+
+    Ties keep the *first* candidate in input order, so callers control
+    tie-breaking by ordering their candidates (the surfaces iterate
+    row-major; the study engine iterates in job order).  Raises
+    :class:`ConfigError` on an empty candidate list or a bad direction.
+    """
+    if direction not in _DIRECTIONS:
+        raise ConfigError(f"direction must be one of {_DIRECTIONS}, got {direction!r}")
+    if not candidates:
+        raise ConfigError("select_design_point needs at least one candidate")
+    best: Optional[Tuple[K, float]] = None
+    for key, value in candidates:
+        if best is None:
+            best = (key, value)
+        elif direction == "min" and value < best[1]:
+            best = (key, value)
+        elif direction == "max" and value > best[1]:
+            best = (key, value)
+    assert best is not None
+    return best

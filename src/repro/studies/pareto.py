@@ -1,0 +1,58 @@
+"""Pareto-front extraction over multi-metric design candidates.
+
+The study engine reports, per scenario, not just the single
+objective-optimal configuration but the whole energy / drop-rate /
+latency trade surface: the set of configurations no other configuration
+beats on every axis at once.  All axes are *minimized* here; a caller
+wanting a maximized metric on the front negates it first.
+"""
+
+from __future__ import annotations
+
+from math import isnan
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when point ``a`` dominates ``b`` (all axes minimized).
+
+    ``a`` dominates ``b`` when it is no worse on every axis and strictly
+    better on at least one.  NaN axes are treated as worst-possible
+    (they can never help a point dominate, and any finite value beats
+    them), so candidates with undefined metrics sink to the back of the
+    front instead of poisoning the comparison.
+    """
+    if len(a) != len(b):
+        raise AnalysisError(
+            f"dominance needs equal-length points, got {len(a)} and {len(b)}"
+        )
+    no_worse_everywhere = True
+    strictly_better_somewhere = False
+    for x, y in zip(a, b):
+        x_rank = (1, 0.0) if isnan(x) else (0, x)
+        y_rank = (1, 0.0) if isnan(y) else (0, y)
+        if x_rank > y_rank:
+            no_worse_everywhere = False
+            break
+        if x_rank < y_rank:
+            strictly_better_somewhere = True
+    return no_worse_everywhere and strictly_better_somewhere
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Quadratic scan — study candidate pools are tens of points per
+    scenario, far below where a sweep-line approach would pay off.
+    Duplicate points all survive (none strictly beats another), keeping
+    the reduction deterministic under equal-metric ties.
+    """
+    front: List[int] = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate) for j, other in enumerate(points) if j != i
+        ):
+            front.append(i)
+    return front

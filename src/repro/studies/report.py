@@ -1,0 +1,125 @@
+"""Rendering for policy maps: text tables, markdown reports, JSON.
+
+The text form goes through :func:`repro.analysis.report.format_table`,
+keeping study output visually consistent with every figure reproduction;
+the markdown form is the CI-artifact / README-worked-example format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.studies.policymap import CandidateSummary, PolicyMap, ScenarioVerdict
+
+_MAP_HEADERS = (
+    "scenario",
+    "winner",
+    "thr Mbps",
+    "window",
+    "power W",
+    "base W",
+    "save %",
+    "loss %",
+    "lat viol %",
+    "pass",
+)
+
+
+def _chosen(verdict: ScenarioVerdict) -> Optional[CandidateSummary]:
+    return verdict.winner or verdict.fallback
+
+
+def _policy_cell(verdict: ScenarioVerdict) -> str:
+    chosen = _chosen(verdict)
+    if chosen is None:  # pragma: no cover - _verdict always selects one
+        return "-"
+    # An ungated fallback is flagged: no configuration passed the gates.
+    return chosen.policy if verdict.winner else f"{chosen.policy} (ungated)"
+
+
+def _map_rows(policy_map: PolicyMap) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for verdict in policy_map:
+        chosen = _chosen(verdict)
+        assert chosen is not None
+        saving = verdict.power_saving_fraction
+        viol = chosen.latency_violation_fraction
+        rows.append(
+            [
+                verdict.scenario,
+                _policy_cell(verdict),
+                "-" if chosen.threshold_mbps is None else f"{chosen.threshold_mbps:g}",
+                "-" if chosen.window_cycles is None else str(chosen.window_cycles),
+                f"{chosen.power_w:.3f}",
+                f"{verdict.baseline.power_w:.3f}",
+                "-" if saving is None else f"{100 * saving:.1f}",
+                f"{100 * chosen.loss_fraction:.2f}",
+                "-" if viol != viol else f"{100 * viol:.2f}",
+                f"{verdict.candidates_passing}/{len(verdict.candidates)}",
+            ]
+        )
+    return rows
+
+
+def render_text(policy_map: PolicyMap) -> str:
+    """The per-scenario optimal-policy map as an aligned text table."""
+    title = (
+        f"Per-scenario optimal DVS policy map "
+        f"(objective: {policy_map.objective}, LOC-assertion gated)"
+    )
+    return format_table(_MAP_HEADERS, _map_rows(policy_map), title=title)
+
+
+def render_pareto_text(verdict: ScenarioVerdict) -> str:
+    """One scenario's non-dominated trade front as a text table."""
+    rows = []
+    for candidate in verdict.pareto:
+        rows.append(
+            [
+                candidate.policy,
+                "-" if candidate.threshold_mbps is None else f"{candidate.threshold_mbps:g}",
+                "-" if candidate.window_cycles is None else str(candidate.window_cycles),
+                f"{candidate.power_w:.3f}",
+                f"{100 * candidate.loss_fraction:.2f}",
+                f"{candidate.metrics['latency_mean_us']:.1f}",
+                "yes" if candidate.passed else "no",
+            ]
+        )
+    return format_table(
+        ("policy", "thr Mbps", "window", "power W", "loss %", "lat us", "gated"),
+        rows,
+        title=f"{verdict.scenario}: Pareto front (power / loss / latency)",
+    )
+
+
+def render_markdown(policy_map: PolicyMap, pareto: bool = True) -> str:
+    """The study report as GitHub-flavoured markdown."""
+    lines = [
+        "# Scenario-conditioned DVS policy study",
+        "",
+        f"Objective: **{policy_map.objective}** — winners are the best",
+        "configuration *whose LOC assertions hold* (span-latency bound,",
+        "forward-counter sanity) and whose loss stays within the margin of",
+        "the ungoverned baseline.",
+        "",
+        "| " + " | ".join(_MAP_HEADERS) + " |",
+        "|" + "|".join("---" for _ in _MAP_HEADERS) + "|",
+    ]
+    for row in _map_rows(policy_map):
+        lines.append("| " + " | ".join(row) + " |")
+    if pareto:
+        for verdict in policy_map:
+            lines.append("")
+            lines.append(f"## {verdict.scenario}")
+            lines.append("")
+            lines.append("```")
+            lines.append(render_pareto_text(verdict))
+            lines.append("```")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(policy_map: PolicyMap) -> str:
+    """The study report as pretty-printed JSON."""
+    return json.dumps(policy_map.to_dict(), indent=2, sort_keys=True) + "\n"

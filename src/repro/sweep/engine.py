@@ -27,6 +27,7 @@ from repro.loc.builtin import (
     power_distribution_formula,
     throughput_distribution_formula,
 )
+from repro.loc.checker import build_checker
 from repro.runner import run_simulation
 from repro.sweep.spec import Job, SweepSpec
 from repro.sweep.store import ResultStore, SweepOutcome
@@ -73,6 +74,8 @@ def run_job(job: Job) -> SweepOutcome:
             throughput_distribution_formula(span=job.span)
         )
         sinks = [power_analyzer, throughput_analyzer]
+    checkers = [build_checker(check) for check in job.checks]
+    sinks = sinks + checkers
     result = run_simulation(config, sinks=sinks)
     return SweepOutcome(
         job_id=job.job_id,
@@ -80,6 +83,7 @@ def run_job(job: Job) -> SweepOutcome:
         result=result,
         power_dist=power_analyzer.finish() if power_analyzer else None,
         throughput_dist=throughput_analyzer.finish() if throughput_analyzer else None,
+        check_results=[checker.finish() for checker in checkers],
     )
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DvsConfig, RunConfig, TrafficConfig
 from repro.errors import ConfigError
@@ -32,17 +32,26 @@ def config_hash(
     config: Dict[str, Any],
     span: Optional[int] = None,
     scenario: Optional[Dict[str, Any]] = None,
+    checks: Sequence[str] = (),
 ) -> str:
-    """Stable short hash of a config dict (+ analysis span + scenario).
+    """Stable short hash of a config dict (+ span, scenario, checks).
 
     Key order does not matter; values must be JSON-serializable, which
     every ``RunConfig.to_dict`` / ``Scenario.to_dict`` output is.  The
     scenario *definition* participates so that re-registering a name
-    with different segments changes job identity.
+    with different segments changes job identity; so do the attached LOC
+    checker formulas.  The ``checks`` key is omitted when empty, keeping
+    job ids of check-free sweeps identical to those of earlier releases
+    (existing result stores stay valid caches).
     """
-    payload = json.dumps(
-        {"config": config, "span": span, "scenario": scenario}, sort_keys=True
-    )
+    payload_dict: Dict[str, Any] = {
+        "config": config,
+        "span": span,
+        "scenario": scenario,
+    }
+    if checks:
+        payload_dict["checks"] = list(checks)
+    payload = json.dumps(payload_dict, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -56,7 +65,11 @@ class Job:
     scenario definition when the config references one by name, making
     jobs self-contained: worker processes re-register it locally, so
     custom (non-built-in) scenarios sweep correctly even under spawn /
-    forkserver start methods.  ``label`` is display-only and excluded
+    forkserver start methods.  ``checks`` is an ordered tuple of LOC
+    *checker* formulas (relational assertions); the worker attaches one
+    streaming :class:`~repro.loc.checker.Checker` per formula and the
+    outcome carries their :class:`~repro.loc.checker.CheckResult`
+    verdicts in the same order.  ``label`` is display-only and excluded
     from the identity hash.
     """
 
@@ -65,6 +78,7 @@ class Job:
     span: Optional[int] = None
     label: str = ""
     scenario: Optional[Dict[str, Any]] = None
+    checks: Tuple[str, ...] = ()
 
     @classmethod
     def build(
@@ -72,6 +86,7 @@ class Job:
         config: "RunConfig | Dict[str, Any]",
         span: Optional[int] = None,
         label: str = "",
+        checks: Sequence[str] = (),
     ) -> "Job":
         """Make a job from a config (validated) or a config dict."""
         if isinstance(config, RunConfig):
@@ -79,6 +94,14 @@ class Job:
             config = config.to_dict()
         else:
             RunConfig.from_dict(config)  # validates (and normalizes errors)
+        checks = tuple(checks)
+        if checks:
+            # Parse now so a malformed formula fails at build time, in
+            # the submitting process, rather than inside a worker.
+            from repro.loc.checker import build_checker
+
+            for check in checks:
+                build_checker(check)
         scenario = None
         scenario_name = (config.get("traffic") or {}).get("scenario")
         if scenario_name is not None:
@@ -86,11 +109,12 @@ class Job:
 
             scenario = get_scenario(scenario_name).to_dict()
         return cls(
-            job_id=config_hash(config, span, scenario),
+            job_id=config_hash(config, span, scenario, checks),
             config=config,
             span=span,
             label=label,
             scenario=scenario,
+            checks=checks,
         )
 
     def run_config(self) -> RunConfig:
@@ -151,6 +175,9 @@ class SweepSpec:
         Shared run shape: run length, arrival process for level/load
         traffic, and the LOC analysis span (``None`` disables the
         distribution analyzers).
+    checks:
+        LOC checker formulas attached to every job; each outcome then
+        carries one :class:`~repro.loc.checker.CheckResult` per formula.
     base:
         Optional :class:`RunConfig` field overrides merged into every
         job (e.g. ``{"pipeline_events": "chunk"}`` or a custom ``npu``
@@ -167,6 +194,7 @@ class SweepSpec:
     duration_cycles: int = 1_600_000
     process: str = "mmpp"
     span: Optional[int] = None
+    checks: Tuple[str, ...] = ()
     base: Dict[str, Any] = field(default_factory=dict)
 
     def dvs_points(self, policy: str) -> List[DvsConfig]:
@@ -198,7 +226,18 @@ class SweepSpec:
         raise ConfigError(f"unknown policy {policy!r} in sweep spec")
 
     def jobs(self) -> List[Job]:
-        """Expand the cross product into an ordered, de-duplicated job list."""
+        """Expand the cross product into an ordered, de-duplicated job list.
+
+        Raises :class:`ConfigError` when any outer axis is empty — an
+        empty ``policies`` or ``traffic`` tuple would otherwise expand
+        to zero jobs and make a sweep silently report nothing.
+        """
+        for axis in ("benchmarks", "policies", "traffic", "seeds"):
+            if not getattr(self, axis):
+                raise ConfigError(
+                    f"SweepSpec.{axis} is empty — the sweep would expand to "
+                    "zero jobs; give the axis at least one entry"
+                )
         jobs: List[Job] = []
         seen = set()
         for benchmark in self.benchmarks:
@@ -222,6 +261,7 @@ class SweepSpec:
                                 config_dict,
                                 span=self.span,
                                 label=_job_label(benchmark, token, dvs, seed),
+                                checks=self.checks,
                             )
                             if job.job_id in seen:
                                 continue

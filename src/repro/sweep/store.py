@@ -14,12 +14,13 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.config import RunConfig
 from repro.errors import ExperimentError
 from repro.loc.analyzer import DistributionResult
+from repro.loc.checker import CheckResult
 from repro.npu.chip import MeSummary, RunTotals
 from repro.runner import RunResult
 
@@ -33,6 +34,8 @@ class SweepOutcome:
     result: RunResult
     power_dist: Optional[DistributionResult] = None
     throughput_dist: Optional[DistributionResult] = None
+    #: LOC checker verdicts, in the order of the job's ``checks`` tuple.
+    check_results: List[CheckResult] = field(default_factory=list)
     #: True when this outcome was loaded from a store instead of run.
     cached: bool = False
 
@@ -46,6 +49,17 @@ class SweepOutcome:
         """Forwarded throughput over the run."""
         return self.result.throughput_mbps
 
+    @property
+    def assertions_passed(self) -> bool:
+        """True when every attached LOC check had zero violations.
+
+        Vacuously true for jobs that carried no checks; callers that
+        need tolerance-based gating (allow a bounded violation fraction)
+        should inspect :attr:`check_results` directly, as the study
+        engine does.
+        """
+        return all(check.passed for check in self.check_results)
+
     # -- dict round-trip ------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe dict form (one store line)."""
@@ -55,6 +69,7 @@ class SweepOutcome:
             "result": _result_to_dict(self.result),
             "power_dist": _dist_to_dict(self.power_dist),
             "throughput_dist": _dist_to_dict(self.throughput_dist),
+            "check_results": [check.to_dict() for check in self.check_results],
         }
 
     @classmethod
@@ -67,6 +82,10 @@ class SweepOutcome:
                 result=_result_from_dict(data["result"]),
                 power_dist=_dist_from_dict(data.get("power_dist")),
                 throughput_dist=_dist_from_dict(data.get("throughput_dist")),
+                check_results=[
+                    CheckResult.from_dict(check)
+                    for check in data.get("check_results", [])
+                ],
                 cached=True,
             )
         except (KeyError, TypeError) as exc:

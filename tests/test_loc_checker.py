@@ -93,3 +93,47 @@ def test_undefined_instances_counted_not_judged():
     assert result.undefined_instances == 1
     assert result.instances_checked == 0
     assert result.passed
+
+
+def test_lhs_statistics_accumulated():
+    result = check_trace(
+        "cycle(deq[i]) - cycle(enq[i]) <= 50", latency_trace([10, 99, 50])
+    )
+    assert result.lhs_min == 10
+    assert result.lhs_max == 99
+    assert result.mean_lhs == pytest.approx((10 + 99 + 50) / 3)
+    assert result.violation_fraction == pytest.approx(1 / 3)
+
+
+def test_lhs_statistics_empty_trace():
+    import math
+
+    result = check_trace("cycle(deq[i]) - cycle(enq[i]) <= 50", [])
+    assert math.isnan(result.mean_lhs)
+    assert result.violation_fraction == 0.0
+
+
+def test_check_result_dict_round_trip():
+    result = check_trace(
+        "cycle(deq[i]) - cycle(enq[i]) <= 50", latency_trace([10, 99, 50, 77])
+    )
+    from repro.loc.checker import CheckResult
+
+    rebuilt = CheckResult.from_dict(result.to_dict())
+    assert rebuilt == result
+    assert rebuilt.to_dict() == result.to_dict()
+
+
+def test_check_result_dict_round_trip_empty():
+    from repro.loc.checker import CheckResult
+
+    result = check_trace("cycle(deq[i]) - cycle(enq[i]) <= 50", [])
+    rebuilt = CheckResult.from_dict(result.to_dict())
+    assert rebuilt == result  # inf/-inf sentinels survive the None mapping
+
+
+def test_malformed_check_record_rejected():
+    from repro.loc.checker import CheckResult
+
+    with pytest.raises(LocError):
+        CheckResult.from_dict({"formula_text": "x <= 1"})

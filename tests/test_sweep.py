@@ -76,6 +76,40 @@ class TestSpecExpansion:
         with pytest.raises(ConfigError):
             Job.build({"benchmark": "bogus"})
 
+    @pytest.mark.parametrize("axis", ["benchmarks", "policies", "traffic", "seeds"])
+    def test_empty_axis_rejected_with_field_named(self, axis):
+        """An empty axis must fail loudly, not expand to zero jobs."""
+        spec = SweepSpec(**{axis: ()})
+        with pytest.raises(ConfigError) as excinfo:
+            spec.jobs()
+        assert axis in str(excinfo.value)
+
+    def test_empty_threshold_and_window_axes_use_defaults(self):
+        """Only the outer axes are mandatory; DVS axes have defaults."""
+        spec = SweepSpec(
+            policies=("tdvs",), thresholds_mbps=(), windows_cycles=()
+        )
+        assert len(spec.jobs()) == 1
+
+    def test_checks_flow_into_jobs_and_identity(self):
+        check = "total_pkt(forward[i+1]) - total_pkt(forward[i]) == 1"
+        plain = SweepSpec(policies=("none",)).jobs()[0]
+        checked = SweepSpec(policies=("none",), checks=(check,)).jobs()[0]
+        assert checked.checks == (check,)
+        assert checked.job_id != plain.job_id
+
+    def test_malformed_check_rejected_at_build_time(self):
+        from repro.errors import LocError
+
+        with pytest.raises(LocError):
+            Job.build(RunConfig(), checks=("not a formula @@",))
+
+    def test_distribution_formula_rejected_as_check(self):
+        from repro.errors import LocError
+
+        with pytest.raises(LocError):
+            Job.build(RunConfig(), checks=("time(forward[i]) below <0, 5, 1>",))
+
 
 class TestTrafficTokens:
     def test_level_token(self):
@@ -135,6 +169,32 @@ class TestExecution:
         assert outcome.power_dist is None
         assert outcome.throughput_dist is None
         assert outcome.mean_power_w > 0
+
+    def test_run_job_evaluates_attached_checks(self):
+        passing = "total_pkt(forward[i+1]) - total_pkt(forward[i]) == 1"
+        failing = "time(forward[i+1]) - time(forward[i]) <= 0"
+        (job,) = SweepSpec(
+            policies=("none",), span=None, checks=(passing, failing), **FAST
+        ).jobs()
+        outcome = run_job(job)
+        assert len(outcome.check_results) == 2
+        ok, bad = outcome.check_results
+        assert ok.passed and ok.instances_checked > 0
+        assert not bad.passed and bad.violations_total > 0
+        assert not outcome.assertions_passed
+
+    def test_check_results_survive_the_store(self, tmp_path):
+        check = "total_pkt(forward[i+1]) - total_pkt(forward[i]) == 1"
+        (job,) = SweepSpec(policies=("none",), checks=(check,), **FAST).jobs()
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        (fresh,) = run_sweep([job], workers=1, store=store)
+        (cached,) = run_sweep(
+            [job], workers=1, store=ResultStore(str(tmp_path / "r.jsonl"))
+        )
+        assert cached.cached
+        assert [c.to_dict() for c in cached.check_results] == [
+            c.to_dict() for c in fresh.check_results
+        ]
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ExperimentError):
