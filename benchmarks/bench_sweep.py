@@ -1,13 +1,21 @@
-"""Benches for the sweep engine: serial vs. parallel wall-clock.
+"""Benches for the sweep engine: per-backend wall-clock.
 
-Times the same job grid through ``run_sweep`` serially (``workers=1``,
-the in-process path) and through the process pool, asserts the results
-are bit-identical, and prints both wall-clock figures plus the speedup
-so sweep scaling is recorded alongside the figure benches.  On
-single-core runners the pool carries fork overhead with no win — the
-interesting number there is how small the overhead stays.
+Times the same job grid through every execution backend — serial
+(``workers=1``, the in-process path), the local process pool, and the
+distributed coordinator with two loopback workers — asserts the
+results are bit-identical, and prints the wall-clock figures plus the
+speedup so sweep scaling is recorded alongside the figure benches.  On
+single-core runners the pool/queue carry fork and socket overhead with
+no win — the interesting number there is how small the overhead stays.
+
+Each timed backend also lands in ``BENCH_sweep.json`` (per-backend
+wall-clock seconds and jobs/sec), the machine-readable artifact CI
+uploads so the sweep-engine perf trajectory is tracked run over run.
 """
 
+import json
+import os
+import threading
 import time
 
 from repro.sweep import SweepSpec, run_sweep
@@ -24,17 +32,41 @@ SPEC = SweepSpec(
     span=20,
 )
 
+#: Machine-readable results artifact (cwd: uploaded by the CI bench lane).
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_sweep.json")
 
-def _timed_sweep(jobs, workers):
+
+def _record(backend_name, wall_s, n_jobs):
+    """Merge one backend's figures into the JSON artifact."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    data.setdefault("bench", "sweep")
+    data["jobs"] = n_jobs
+    data["duration_cycles"] = SPEC.duration_cycles
+    backends = data.setdefault("backends", {})
+    backends[backend_name] = {
+        "wall_s": round(wall_s, 4),
+        "jobs_per_s": round(n_jobs / wall_s, 4) if wall_s > 0 else None,
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _timed_sweep(jobs, **kwargs):
     start = time.perf_counter()
-    outcomes = run_sweep(jobs, workers=workers)
+    outcomes = run_sweep(jobs, **kwargs)
     return outcomes, time.perf_counter() - start
 
 
 def test_sweep_serial_vs_parallel_wall_clock(benchmark):
     jobs = SPEC.jobs()
-    serial, serial_s = _timed_sweep(jobs, 1)
-    (parallel, parallel_s) = run_once(benchmark, _timed_sweep, jobs, 4)
+    serial, serial_s = _timed_sweep(jobs, workers=1)
+    (parallel, parallel_s) = run_once(benchmark, _timed_sweep, jobs, workers=4)
+    _record("serial", serial_s, len(jobs))
+    _record("process", parallel_s, len(jobs))
 
     print(
         f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s, "
@@ -44,6 +76,44 @@ def test_sweep_serial_vs_parallel_wall_clock(benchmark):
     for s, p in zip(serial, parallel):
         assert s.result.totals == p.result.totals
         assert s.power_dist.counts == p.power_dist.counts
+
+
+def test_sweep_distributed_loopback_wall_clock(benchmark):
+    """The distributed backend with two loopback workers: what the
+    coordinator/queue machinery costs relative to the process pool."""
+    from repro.backends import DistributedBackend
+    from repro.backends.worker import run_worker
+
+    jobs = SPEC.jobs()
+    serial, serial_s = _timed_sweep(jobs, workers=1)
+
+    def distributed_sweep():
+        backend = DistributedBackend(port=0)
+        workers = [
+            threading.Thread(
+                target=run_worker, args=(backend.address,),
+                kwargs={"log": None}, daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes, wall_s = _timed_sweep(jobs, backend=backend)
+        for worker in workers:
+            worker.join(timeout=60)
+        return outcomes, wall_s
+
+    (distributed, distributed_s) = run_once(benchmark, distributed_sweep)
+    _record("distributed", distributed_s, len(jobs))
+
+    print(
+        f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s, distributed "
+        f"(2 loopback workers) {distributed_s:.2f}s, "
+        f"speedup {serial_s / distributed_s:.2f}x"
+    )
+    for s, d in zip(serial, distributed):
+        assert s.result.totals == d.result.totals
+        assert s.power_dist.counts == d.power_dist.counts
 
 
 def test_sweep_store_cache_replay_is_fast(benchmark, tmp_path):
@@ -56,5 +126,6 @@ def test_sweep_store_cache_replay_is_fast(benchmark, tmp_path):
     start = time.perf_counter()
     replay = run_once(benchmark, run_sweep, jobs, workers=1, store=ResultStore(path))
     replay_s = time.perf_counter() - start
+    _record("store_replay", replay_s, len(jobs))
     print(f"\ncache replay of {len(jobs)} jobs: {replay_s:.3f}s")
     assert all(outcome.cached for outcome in replay)

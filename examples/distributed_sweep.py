@@ -1,0 +1,73 @@
+"""Run a design-space sweep through the distributed backend.
+
+Spins up the TCP coordinator (:class:`repro.backends.DistributedBackend`)
+on an ephemeral loopback port, joins it with two in-process workers —
+the exact pull-loop ``repro worker --connect HOST:PORT`` runs on other
+machines — and drains a TDVS grid through the queue, then re-runs the
+same grid serially to show the outcomes are bit-identical.
+
+In real deployments the workers are separate processes on separate
+hosts::
+
+    # coordinator machine
+    PYTHONPATH=src python -m repro sweep --policy tdvs \\
+        --backend distributed --connect 0.0.0.0:7641
+
+    # each worker machine
+    PYTHONPATH=src python -m repro worker --connect COORDINATOR:7641
+
+Usage::
+
+    PYTHONPATH=src python examples/distributed_sweep.py [n_workers]
+"""
+
+import sys
+import threading
+
+from repro.backends import DistributedBackend
+from repro.backends.worker import run_worker
+from repro.sweep import SweepSpec, run_sweep, summarize
+
+
+def main() -> int:
+    n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    spec = SweepSpec(
+        policies=("none", "tdvs"),
+        thresholds_mbps=(1000.0, 1400.0),
+        windows_cycles=(20_000, 80_000),
+        traffic=("scenario:flash_crowd",),
+        duration_cycles=400_000,
+        seeds=(7,),
+    )
+    jobs = spec.jobs()
+
+    backend = DistributedBackend(port=0)  # ephemeral loopback port
+    print(f"coordinator listening on {backend.address}")
+    workers = [
+        threading.Thread(
+            target=run_worker,
+            args=(backend.address,),
+            kwargs={"log": None},
+            daemon=True,
+        )
+        for _ in range(n_workers)
+    ]
+    for worker in workers:
+        worker.start()
+    print(f"{len(jobs)} jobs across {n_workers} loopback workers")
+
+    distributed = run_sweep(jobs, backend=backend)
+    for worker in workers:
+        worker.join(timeout=30)
+    print(summarize(distributed))
+
+    serial = run_sweep(jobs, workers=1)
+    identical = all(
+        d.result.totals == s.result.totals for d, s in zip(distributed, serial)
+    )
+    print(f"\nbit-identical to the serial run: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

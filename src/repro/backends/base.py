@@ -1,0 +1,50 @@
+"""The execution-backend contract.
+
+An :class:`ExecutionBackend` turns a list of pending
+:class:`~repro.sweep.spec.Job` objects into a stream of
+:class:`~repro.sweep.store.SweepOutcome` objects.  The contract is
+small and strict, so the sweep engine can treat every execution
+strategy — in-process, process pool, multi-machine queue — the same:
+
+* :meth:`~ExecutionBackend.run` yields **exactly one** outcome per
+  submitted job, keyed by ``job_id``, in **any order** (the engine
+  restores job order and fans duplicates out);
+* results are **bit-identical** across backends: every job carries its
+  own seed, so where or when it runs can never change its numbers;
+* outcomes are yielded **as they complete**, so the engine can persist
+  each one to the :class:`~repro.sweep.store.ResultStore`
+  incrementally — a crashed coordinator resumes from the cache instead
+  of re-paying finished work.
+
+Jobs handed to a backend are already de-duplicated and cache-filtered
+by :func:`~repro.sweep.engine.run_sweep`; backends never consult the
+store themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+from repro.sweep.spec import Job
+from repro.sweep.store import SweepOutcome
+
+
+class ExecutionBackend(abc.ABC):
+    """One strategy for executing pending sweep jobs."""
+
+    #: Short backend identifier (``serial`` / ``process`` /
+    #: ``distributed``), also the CLI/env selector token.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+        """Execute ``jobs``, yielding one outcome each, in any order.
+
+        A backend instance is single-use: after the generator is
+        exhausted (or closed), the backend's resources are released and
+        a fresh instance is needed for the next sweep.
+        """
+
+    def close(self) -> None:
+        """Release any resources held outside :meth:`run` (idempotent)."""

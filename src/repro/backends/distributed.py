@@ -1,0 +1,330 @@
+"""The multi-machine backend: a TCP job-queue coordinator.
+
+:class:`DistributedBackend` binds a TCP endpoint, queues the pending
+jobs, and leases them out to ``repro worker --connect HOST:PORT``
+processes (see :mod:`repro.backends.worker`), streaming outcomes back
+to the sweep engine as they arrive.  Fault tolerance is built into the
+lease discipline:
+
+* every grant carries a **lease**: the worker must heartbeat before
+  the lease term expires or the job is presumed lost;
+* a worker whose connection drops (crash, ``SIGKILL``, network cut)
+  has all of its leased jobs **requeued immediately**;
+* requeues are **bounded**: a job granted more than ``1 + max_retries``
+  times fails the sweep with a :class:`~repro.errors.BackendError`
+  (an :class:`~repro.errors.ExperimentError`) naming the job;
+* a late outcome for an already-completed job — the leaseholder was
+  slow, not dead, and the requeued copy finished first — is **dropped**,
+  so nothing is ever delivered twice.
+
+Exactly-once delivery plus the engine's incremental
+:class:`~repro.sweep.store.ResultStore` appends give crash-resume on
+the coordinator side too: restart the sweep with the same store and
+only unfinished cells are re-queued.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import BackendError, ExperimentError
+from repro.backends.base import ExecutionBackend
+from repro.backends.protocol import (
+    DEFAULT_HOST,
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
+from repro.sweep.spec import Job
+from repro.sweep.store import SweepOutcome
+
+#: One log callback: a short human-readable event line.
+LogFn = Callable[[str], None]
+
+
+@dataclass
+class _Lease:
+    """One outstanding job grant."""
+
+    job: Job
+    worker: str
+    deadline: float
+
+
+class _State:
+    """Shared coordinator state, guarded by one lock."""
+
+    def __init__(self, jobs: Sequence[Job], lease_s: float, max_retries: int,
+                 log: Optional[LogFn]):
+        self.lock = threading.Lock()
+        self.pending = deque(jobs)
+        self.leases: Dict[str, _Lease] = {}
+        self.grants: Dict[str, int] = {}
+        self.completed = set()
+        self.total = len(jobs)
+        self.results: "queue.Queue[object]" = queue.Queue()
+        self.lease_s = lease_s
+        self.max_retries = max_retries
+        self.failed = False
+        self.shutdown = threading.Event()
+        self.log = log
+
+    def _say(self, line: str) -> None:
+        if self.log is not None:
+            self.log(line)
+
+    def grant(self, worker: str) -> dict:
+        """Answer one ``pull``: a job, a wait, or a shutdown."""
+        with self.lock:
+            if self.failed or self.shutdown.is_set():
+                return {"type": "shutdown"}
+            if self.pending:
+                job = self.pending.popleft()
+                self.grants[job.job_id] = self.grants.get(job.job_id, 0) + 1
+                self.leases[job.job_id] = _Lease(
+                    job=job, worker=worker,
+                    deadline=time.monotonic() + self.lease_s,
+                )
+                return {"type": "job", "job": job.to_dict(), "lease_s": self.lease_s}
+            if len(self.completed) >= self.total:
+                return {"type": "shutdown"}
+            return {"type": "wait", "poll_s": 0.2}
+
+    def heartbeat(self, job_id: str, worker: str) -> None:
+        """Extend a live lease (stale heartbeats are ignored)."""
+        with self.lock:
+            lease = self.leases.get(job_id)
+            if lease is not None and lease.worker == worker:
+                lease.deadline = time.monotonic() + self.lease_s
+
+    def complete(self, job_id: str, outcome: SweepOutcome) -> None:
+        """Deliver an outcome exactly once; duplicates are dropped."""
+        with self.lock:
+            if job_id in self.completed:
+                self._say(f"dropping duplicate outcome for {job_id}")
+                return
+            self.completed.add(job_id)
+            self.leases.pop(job_id, None)
+            # A late delivery may race a lease-expiry requeue: purge the
+            # pending copy so the finished job is never granted again.
+            if any(job.job_id == job_id for job in self.pending):
+                self.pending = deque(
+                    job for job in self.pending if job.job_id != job_id
+                )
+            self.results.put(outcome)
+
+    def fail_attempt(self, job_id: str, worker: str, reason: str) -> None:
+        """Handle one lost/failed attempt: requeue or give up.
+
+        Only the current leaseholder may fail its lease — a stale
+        report (the job was already requeued and re-granted to another
+        worker) must not cancel the live lease or burn retry budget.
+        """
+        with self.lock:
+            lease = self.leases.get(job_id)
+            if lease is None or lease.worker != worker or job_id in self.completed:
+                return
+            del self.leases[job_id]
+            attempts = self.grants.get(job_id, 1)
+            if attempts > self.max_retries:
+                self.failed = True
+                self.results.put(BackendError(
+                    f"job {job_id} ({lease.job.label or 'unlabelled'}) failed "
+                    f"after {attempts} attempt(s); last worker {worker}: {reason}"
+                ))
+                return
+            self._say(f"requeueing {job_id} (attempt {attempts} lost: {reason})")
+            self.pending.appendleft(lease.job)
+
+    def release_worker(self, worker: str, reason: str) -> None:
+        """Requeue every job the departed worker still held."""
+        with self.lock:
+            held = [job_id for job_id, lease in self.leases.items()
+                    if lease.worker == worker]
+        for job_id in held:
+            self.fail_attempt(job_id, worker, reason)
+
+    def expire_leases(self) -> None:
+        """Requeue jobs whose leaseholder stopped heartbeating."""
+        now = time.monotonic()
+        with self.lock:
+            expired = [(job_id, lease.worker)
+                       for job_id, lease in self.leases.items()
+                       if lease.deadline < now]
+        for job_id, worker in expired:
+            self.fail_attempt(job_id, worker, "lease expired")
+
+
+class DistributedBackend(ExecutionBackend):
+    """Coordinator side of the multi-machine job queue.
+
+    Parameters
+    ----------
+    host / port:
+        TCP endpoint to listen on; port ``0`` binds an ephemeral port
+        (read it back from :attr:`address` — how the tests wire
+        loopback workers).  The socket binds eagerly, so the address
+        is printable before the sweep starts.
+    lease_s:
+        Lease term.  Workers heartbeat at a third of this; a job whose
+        lease lapses is requeued even if the TCP connection looks open
+        (half-open links, hung workers).
+    max_retries:
+        Extra grants a job may receive after its first attempt is lost
+        before the sweep fails.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        lease_s: float = 15.0,
+        max_retries: int = 2,
+        log: Optional[LogFn] = None,
+    ):
+        if lease_s <= 0:
+            raise BackendError(f"lease_s must be positive, got {lease_s}")
+        if max_retries < 0:
+            raise BackendError(f"max_retries must be >= 0, got {max_retries}")
+        self.lease_s = lease_s
+        self.max_retries = max_retries
+        self.log = log
+        self._listener: Optional[socket.socket] = socket.socket(
+            socket.AF_INET, socket.SOCK_STREAM
+        )
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(16)
+        except OSError as exc:
+            self._listener.close()
+            self._listener = None
+            raise BackendError(f"cannot listen on {host}:{port}: {exc}") from None
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._connections: List[socket.socket] = []
+        self._conn_lock = threading.Lock()
+
+    @property
+    def address(self) -> str:
+        """The bound ``HOST:PORT`` workers should connect to."""
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+        if self._listener is None:
+            raise BackendError("distributed backend already closed (single-use)")
+        jobs = list(jobs)
+        state = _State(jobs, self.lease_s, self.max_retries, self.log)
+        accept = threading.Thread(
+            target=self._accept_loop, args=(state,), daemon=True,
+            name="repro-coordinator-accept",
+        )
+        accept.start()
+        delivered = 0
+        try:
+            while delivered < len(jobs):
+                state.expire_leases()
+                try:
+                    item = state.results.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+                delivered += 1
+        finally:
+            state.shutdown.set()
+            self.close()
+
+    # -- socket threads -------------------------------------------------
+    def _accept_loop(self, state: _State) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        while not state.shutdown.is_set():
+            try:
+                conn, peer = listener.accept()
+            except OSError:
+                return  # listener closed: sweep over
+            with self._conn_lock:
+                self._connections.append(conn)
+            worker = f"{peer[0]}:{peer[1]}"
+            threading.Thread(
+                target=self._serve_worker, args=(conn, worker, state),
+                daemon=True, name=f"repro-coordinator-{worker}",
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket, worker: str, state: _State) -> None:
+        reason = "worker disconnected"
+        try:
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "hello":
+                    if message.get("protocol") != PROTOCOL_VERSION:
+                        send_message(conn, {
+                            "type": "shutdown",
+                            "error": f"protocol mismatch: coordinator speaks "
+                                     f"v{PROTOCOL_VERSION}",
+                        })
+                        break
+                    name = message.get("worker")
+                    if name:
+                        worker = f"{worker} ({name})"
+                    state._say(f"worker connected: {worker}")
+                    send_message(conn, {
+                        "type": "welcome",
+                        "protocol": PROTOCOL_VERSION,
+                        "lease_s": state.lease_s,
+                    })
+                elif kind == "pull":
+                    send_message(conn, state.grant(worker))
+                elif kind == "heartbeat":
+                    state.heartbeat(str(message.get("job_id")), worker)
+                elif kind == "outcome":
+                    outcome = replace(
+                        SweepOutcome.from_dict(message["outcome"]), cached=False
+                    )
+                    state.complete(outcome.job_id, outcome)
+                    send_message(conn, {"type": "ok"})
+                elif kind == "error":
+                    job_id = str(message.get("job_id"))
+                    state.fail_attempt(
+                        job_id, worker,
+                        f"job raised: {message.get('message', 'unknown error')}",
+                    )
+                    send_message(conn, {"type": "ok"})
+                else:
+                    raise BackendError(f"unexpected message type {kind!r}")
+        except (OSError, ExperimentError, KeyError) as exc:
+            reason = f"worker connection error: {exc}"
+        finally:
+            state.release_worker(worker, reason)
+            state._say(f"worker gone: {worker}")
+            try:
+                conn.close()
+            except OSError:
+                pass

@@ -1,0 +1,60 @@
+"""Single-host backends: in-process serial and process-pool execution.
+
+Both are thin wrappers over :func:`~repro.sweep.engine.run_job` — the
+same execution path the distributed workers use — refactored out of
+the engine's former inline loop so every strategy satisfies one
+:class:`~repro.backends.base.ExecutionBackend` contract.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterator, Sequence
+
+from repro.errors import BackendError
+from repro.backends.base import ExecutionBackend
+from repro.sweep.spec import Job
+from repro.sweep.store import SweepOutcome
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every job in this process, in submission order.
+
+    No executor, no IPC — the easiest backend to debug or profile, and
+    the reference the others must match bit for bit.
+    """
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+        from repro.sweep.engine import run_job
+
+        for job in jobs:
+            yield run_job(job)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan jobs out over a local :class:`ProcessPoolExecutor`.
+
+    Outcomes are yielded as workers finish them, so incremental store
+    persistence and progress reporting see completions immediately.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise BackendError(f"process backend needs workers >= 1, got {workers}")
+        self.workers = workers
+
+    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+        from repro.sweep.engine import run_job
+
+        if not jobs:
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
+            remaining = {pool.submit(run_job, job) for job in jobs}
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    yield future.result()

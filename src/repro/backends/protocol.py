@@ -1,0 +1,125 @@
+"""The coordinator/worker wire protocol.
+
+Every message is one length-prefixed JSON object: a 4-byte big-endian
+payload length followed by UTF-8 JSON.  Workers initiate every
+exchange; the coordinator only ever replies.  The message types:
+
+========== ==================== =======================================
+direction  type                 meaning
+========== ==================== =======================================
+worker →   ``hello``            handshake; carries the protocol version
+coord  →   ``welcome``          handshake reply; carries the lease term
+worker →   ``pull``             ask for a job
+coord  →   ``job``              a job grant (payload: ``Job.to_dict``)
+coord  →   ``wait``             queue momentarily empty; poll again
+coord  →   ``shutdown``         sweep finished (or aborted); disconnect
+worker →   ``heartbeat``        lease keep-alive while a job runs
+                                (fire-and-forget: no reply)
+worker →   ``outcome``          a finished job (``SweepOutcome.to_dict``)
+worker →   ``error``            a job raised in the worker
+coord  →   ``ok``               ack for ``outcome`` / ``error``
+========== ==================== =======================================
+
+Heartbeats are the one fire-and-forget message, so a worker may send
+them from a side thread (under the shared send lock) while its main
+thread blocks in ``run_job``; the reply stream then only ever contains
+responses to the main thread's requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import BackendError
+
+#: Wire protocol version; bumped on any incompatible framing or
+#: message-shape change.  Handshakes reject mismatches outright —
+#: a silent cross-version sweep could corrupt results.
+PROTOCOL_VERSION = 1
+
+#: Frame header: payload byte length, 4-byte big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one message; an outcome is a few KB, so anything
+#: near this is a framing error, not data.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Default coordinator host when an endpoint omits one.
+DEFAULT_HOST = "127.0.0.1"
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or ``:PORT`` for loopback) into a pair."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep:
+        host, port_text = "", text.strip()
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise BackendError(
+            f"bad endpoint {text!r}: expected HOST:PORT (e.g. 127.0.0.1:7641)"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise BackendError(f"bad endpoint {text!r}: port out of range")
+    return host or DEFAULT_HOST, port
+
+
+def send_message(
+    sock: socket.socket,
+    message: Dict[str, Any],
+    lock: Optional[threading.Lock] = None,
+) -> None:
+    """Send one framed message (atomically under ``lock`` if given)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    frame = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one framed message; ``None`` on a clean EOF.
+
+    EOF in the middle of a frame — the peer died mid-send — raises
+    :class:`BackendError`, as does an oversized or non-object payload.
+    """
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise BackendError(
+            f"oversized protocol message ({length} bytes); "
+            "peer is not speaking the repro sweep protocol"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    assert payload is not None
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BackendError(f"malformed protocol message: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise BackendError("protocol message must be an object with a 'type'")
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise BackendError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -10,6 +10,8 @@ Usage::
     repro scenarios flash_crowd --run       # play one scenario
     repro sweep --policy tdvs --workers 4   # parallel design-space sweep
     repro study --scenario all --policy tdvs,edvs --workers 4
+    repro sweep --backend distributed --connect 0.0.0.0:7641  # coordinator
+    repro worker --connect HOST:7641        # pull jobs from a coordinator
     repro loc-gen "FORMULA" --out analyzer.py
 
 ``repro simulate`` runs a single configuration and prints the totals;
@@ -18,8 +20,9 @@ fans it out over worker processes (see :mod:`repro.sweep`);
 ``repro scenarios`` lists and runs the built-in workload catalog
 (:mod:`repro.scenarios`); ``repro study`` runs the scenario-conditioned
 policy study (:mod:`repro.studies`) and prints the per-scenario
-optimal (threshold, window) map; ``repro loc-gen`` emits a standalone
-LOC analyzer script for a formula.
+optimal (threshold, window) map; ``repro worker`` joins a distributed
+sweep as a job-pulling worker (:mod:`repro.backends`); ``repro
+loc-gen`` emits a standalone LOC analyzer script for a formula.
 """
 
 from __future__ import annotations
@@ -162,6 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    _add_backend_args(sweep_parser)
 
     study_parser = sub.add_parser(
         "study",
@@ -250,12 +254,98 @@ def _build_parser() -> argparse.ArgumentParser:
     study_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    _add_backend_args(study_parser)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="join a distributed sweep: pull jobs from a coordinator, "
+        "run them locally, stream outcomes back",
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, help="coordinator HOST:PORT to pull jobs from"
+    )
+    worker_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after this many completed jobs (default: until shutdown)",
+    )
+    worker_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the coordinator connection (default: 30)",
+    )
+    worker_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="after a sweep finishes, reconnect and serve the next one "
+        "until no coordinator appears within --timeout",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job worker log lines"
+    )
 
     gen_parser = sub.add_parser("loc-gen", help="generate a standalone LOC analyzer")
     gen_parser.add_argument("formula", help="LOC formula text")
     gen_parser.add_argument("--out", default=None, help="output path (default stdout)")
 
     return parser
+
+
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-backend selector (sweep and study)."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("serial", "process", "distributed"),
+        help="execution backend (default: the REPRO_SWEEP_BACKEND environment "
+        "variable, else serial/process chosen from --workers)",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        help="with --backend distributed: HOST:PORT the coordinator listens "
+        "on (port 0 picks a free port; workers join with "
+        "'repro worker --connect HOST:PORT')",
+    )
+
+
+def _make_backend(args):
+    """Build the backend the sweep/study commands were asked for.
+
+    Returns ``None`` when no explicit ``--backend`` was given, letting
+    :func:`~repro.sweep.engine.run_sweep` consult the environment and
+    its serial/process default.  A distributed coordinator announces
+    its bound address up front so workers can be pointed at it.
+    """
+    if args.backend is None:
+        return None
+    from repro.backends import get_backend
+
+    def log(line: str) -> None:
+        print(f"coordinator: {line}", file=sys.stderr)
+
+    backend = get_backend(
+        args.backend,
+        workers=args.workers,
+        connect=args.connect,
+        log=None if getattr(args, "quiet", False) else log,
+    )
+    if args.backend == "distributed":
+        # A wildcard bind is not a dialable address; tell remote
+        # workers to use this machine's name instead.
+        join = backend.address
+        if backend.host in ("0.0.0.0", "::"):
+            import socket
+
+            join = f"{socket.gethostname()}:{backend.port}"
+        print(
+            f"coordinator listening on {backend.address} — join with: "
+            f"repro worker --connect {join}",
+            file=sys.stderr,
+        )
+    return backend
 
 
 @contextlib.contextmanager
@@ -433,6 +523,7 @@ def _cmd_sweep(args) -> int:
     workers = args.workers
     print(
         f"sweep: {len(jobs)} jobs, "
+        f"backend={args.backend or 'auto'}, "
         f"workers={workers if workers is not None else 'auto'}, "
         f"store={args.store or 'none'}"
     )
@@ -441,6 +532,7 @@ def _cmd_sweep(args) -> int:
         workers=workers,
         store=store,
         progress=None if args.quiet else progress_printer(),
+        backend=_make_backend(args),
     )
     print(summarize(outcomes))
     return 0
@@ -494,6 +586,7 @@ def _cmd_study(args) -> int:
     print(
         f"study: {len(jobs_by_scenario)} scenarios, "
         f"{total_jobs} jobs, objective={spec.objective}, "
+        f"backend={args.backend or 'auto'}, "
         f"workers={args.workers if args.workers is not None else 'auto'}, "
         f"store={args.store or 'none'}"
     )
@@ -503,6 +596,7 @@ def _cmd_study(args) -> int:
         store=store,
         progress=None if args.quiet else progress_printer(),
         jobs_by_scenario=jobs_by_scenario,
+        backend=_make_backend(args),
     )
     if args.json:
         report = render_json(result.policy_map)
@@ -519,6 +613,20 @@ def _cmd_study(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(report, end="")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.backends.worker import _log_to_stderr, run_worker
+
+    completed = run_worker(
+        args.connect,
+        max_jobs=args.max_jobs,
+        connect_timeout_s=args.timeout,
+        serve=args.serve,
+        log=None if args.quiet else _log_to_stderr,
+    )
+    print(f"worker: completed {completed} job(s)")
     return 0
 
 
@@ -548,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "study":
         return _cmd_study(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -99,3 +99,12 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was misconfigured or failed to produce output."""
+
+
+class BackendError(ExperimentError):
+    """A sweep execution backend failed or was misused.
+
+    Subclasses :class:`ExperimentError` so sweep callers that already
+    guard experiment execution catch backend faults (worker loss beyond
+    the retry budget, protocol violations) without new handlers.
+    """

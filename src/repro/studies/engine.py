@@ -55,6 +55,7 @@ def run_study(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressFn] = None,
     jobs_by_scenario: Optional[Sequence[Tuple[str, List[Job]]]] = None,
+    backend=None,
 ) -> StudyResult:
     """Run a study and reduce it to its policy map.
 
@@ -64,7 +65,10 @@ def run_study(
     ``jobs_by_scenario`` accepts a precomputed
     :meth:`StudySpec.jobs_by_scenario` expansion so callers that
     already expanded the grid (the CLI prints the job count up front)
-    do not pay for a second expansion.
+    do not pay for a second expansion.  ``backend`` selects the
+    execution backend (name token or instance, see
+    :mod:`repro.backends`); a whole study is one ``run_sweep`` call, so
+    a distributed worker fleet drains it end to end.
     """
     per_scenario = (
         list(jobs_by_scenario)
@@ -72,7 +76,9 @@ def run_study(
         else spec.jobs_by_scenario()
     )
     flat_jobs = [job for _, jobs in per_scenario for job in jobs]
-    flat_outcomes = run_sweep(flat_jobs, workers=workers, store=store, progress=progress)
+    flat_outcomes = run_sweep(
+        flat_jobs, workers=workers, store=store, progress=progress, backend=backend
+    )
 
     outcomes_by_scenario: List[Tuple[str, List[SweepOutcome]]] = []
     cursor = 0

@@ -2,8 +2,10 @@
 
 * :mod:`~repro.sweep.spec` — :class:`SweepSpec` grids and picklable
   :class:`Job` units keyed by config hash;
-* :mod:`~repro.sweep.engine` — :func:`run_sweep`: serial or
-  process-pool execution with deterministic, order-independent results;
+* :mod:`~repro.sweep.engine` — :func:`run_sweep`: execution over the
+  pluggable backends of :mod:`repro.backends` (in-process serial, a
+  local process pool, or a multi-machine coordinator/worker queue)
+  with deterministic, order-independent results;
 * :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL result
   log that doubles as the resume/skip cache.
 

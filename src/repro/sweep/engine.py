@@ -1,16 +1,21 @@
-"""The parallel sweep runner.
+"""The sweep runner over pluggable execution backends.
 
 :func:`run_sweep` takes a list of :class:`~repro.sweep.spec.Job` objects
-(or a :class:`~repro.sweep.spec.SweepSpec`) and executes them — serially
-for ``workers=1``, or fanned out over a ``ProcessPoolExecutor``
-otherwise.  Every job is self-contained (config dict + seed), so results
-are bit-identical regardless of worker count or completion order; the
-returned outcomes always follow the submitted job order.
+(or a :class:`~repro.sweep.spec.SweepSpec`) and executes the pending
+ones through an :class:`~repro.backends.base.ExecutionBackend` —
+in-process (``serial``), a local process pool (``process``), or a
+multi-machine coordinator/worker queue (``distributed``, see
+:mod:`repro.backends`).  Every job is self-contained (config dict +
+seed), so results are bit-identical regardless of backend, worker count
+or completion order; the returned outcomes always follow the submitted
+job order, and duplicate job ids in the list execute once with the
+outcome fanned out to every index.
 
 A :class:`~repro.sweep.store.ResultStore` makes sweeps resumable:
 completed job ids are skipped and their stored outcomes returned
-instead, so re-running a half-finished grid only pays for the missing
-cells.
+instead, and fresh outcomes are appended as they stream in — so an
+interrupted grid (or a crashed distributed coordinator) only pays for
+the missing cells on the next run.
 """
 
 from __future__ import annotations
@@ -18,10 +23,9 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ExperimentError
+from repro.errors import BackendError, ExperimentError
 from repro.loc.analyzer import DistributionAnalyzer
 from repro.loc.builtin import (
     power_distribution_formula,
@@ -87,27 +91,54 @@ def run_job(job: Job) -> SweepOutcome:
     )
 
 
+def _resolve_backend(backend, workers: int, n_pending: int):
+    """Pick the backend for one sweep (see :mod:`repro.backends`).
+
+    Explicit instances and name tokens pass straight to the factory.
+    The default preserves the engine's classic behaviour exactly: a
+    single pending job (or ``workers=1``) runs serially in-process —
+    no executor spin-up for work that cannot fan out — unless
+    ``REPRO_SWEEP_BACKEND`` overrides the choice.
+    """
+    from repro.backends import BACKEND_ENV_VAR, get_backend
+
+    if backend is None and not os.environ.get(BACKEND_ENV_VAR, "").strip():
+        effective = workers if n_pending > 1 else 1
+        return get_backend(None, workers=effective)
+    return get_backend(backend, workers=workers)
+
+
 def run_sweep(
     jobs: Union[SweepSpec, Sequence[Job]],
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressFn] = None,
+    backend=None,
 ) -> List[SweepOutcome]:
     """Run a sweep and return outcomes in job order.
 
     Parameters
     ----------
     jobs:
-        A job list, or a :class:`SweepSpec` to expand.
+        A job list, or a :class:`SweepSpec` to expand.  Duplicate job
+        ids execute once; the shared outcome — including the *first*
+        occurrence's display label — lands at every index.
     workers:
         Process count; ``None`` uses :func:`default_workers`, ``1`` runs
         serially in-process (no executor, easiest to debug/profile).
+        Ignored by backends with their own worker fleet (distributed).
     store:
         Optional :class:`ResultStore`; jobs whose ids are already
         complete in the store are skipped (their cached outcomes are
-        returned with ``cached=True``) and fresh outcomes are appended.
+        returned with ``cached=True``) and fresh outcomes are appended
+        incrementally, as each one completes.
     progress:
         Called after each job completes (cached hits included).
+    backend:
+        An :class:`~repro.backends.base.ExecutionBackend` instance, a
+        name token (``serial`` / ``process`` / ``distributed``), or
+        ``None`` to consult ``REPRO_SWEEP_BACKEND`` and fall back to
+        the classic serial/process-pool choice.
     """
     if isinstance(jobs, SweepSpec):
         jobs = jobs.jobs()
@@ -120,37 +151,55 @@ def run_sweep(
     total = len(jobs)
     done = 0
     outcomes: List[Optional[SweepOutcome]] = [None] * total
-    pending: List[int] = []
+
+    # Group indices by job id so repeats execute exactly once.
+    indices_by_id: Dict[str, List[int]] = {}
+    first_jobs: List[Job] = []
     for index, job in enumerate(jobs):
-        cached = store.get(job.job_id) if store is not None else None
-        if cached is not None:
-            outcomes[index] = cached
+        slots = indices_by_id.setdefault(job.job_id, [])
+        if not slots:
+            first_jobs.append(job)
+        slots.append(index)
+
+    def deliver(outcome: SweepOutcome) -> None:
+        nonlocal done
+        for index in indices_by_id[outcome.job_id]:
+            outcomes[index] = outcome
             done += 1
             if progress is not None:
-                progress(done, total, cached)
+                progress(done, total, outcome)
+
+    pending_jobs: List[Job] = []
+    for job in first_jobs:
+        cached = store.get(job.job_id) if store is not None else None
+        if cached is not None:
+            deliver(cached)
         else:
-            pending.append(index)
+            pending_jobs.append(job)
 
-    def finish(index: int, outcome: SweepOutcome) -> None:
-        nonlocal done
-        outcomes[index] = outcome
-        if store is not None:
-            store.add(outcome)
-        done += 1
-        if progress is not None:
-            progress(done, total, outcome)
-
-    if workers == 1 or len(pending) <= 1:
-        for index in pending:
-            finish(index, run_job(jobs[index]))
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            futures = {pool.submit(run_job, jobs[index]): index for index in pending}
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    finish(futures[future], future.result())
+    if pending_jobs:
+        open_ids = {job.job_id for job in pending_jobs}
+        resolved = _resolve_backend(backend, workers, len(pending_jobs))
+        try:
+            for outcome in resolved.run(pending_jobs):
+                if outcome.job_id not in open_ids:
+                    raise BackendError(
+                        f"backend {resolved.name!r} yielded unknown or "
+                        f"duplicate job id {outcome.job_id!r}"
+                    )
+                open_ids.discard(outcome.job_id)
+                if store is not None:
+                    store.add(outcome)
+                deliver(outcome)
+        finally:
+            resolved.close()
+        if open_ids:
+            raise BackendError(
+                f"backend {resolved.name!r} finished without yielding "
+                f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
+            )
+    elif backend is not None and hasattr(backend, "close"):
+        backend.close()  # single-use even when everything was cached
     assert all(outcome is not None for outcome in outcomes)
     return outcomes  # type: ignore[return-value]
 

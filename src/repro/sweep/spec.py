@@ -117,6 +117,38 @@ class Job:
             checks=checks,
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe wire form (the distributed backend's job payload).
+
+        Carries every identity-bearing field verbatim — the receiving
+        side rebuilds the exact same job, so config hashes, embedded
+        scenarios and check formulas survive the network unchanged.
+        """
+        return {
+            "job_id": self.job_id,
+            "config": self.config,
+            "span": self.span,
+            "label": self.label,
+            "scenario": self.scenario,
+            "checks": list(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        """Rebuild from :meth:`to_dict` output (no re-hashing: the
+        ``job_id`` is authoritative, exactly as for store records)."""
+        try:
+            return cls(
+                job_id=data["job_id"],
+                config=data["config"],
+                span=data.get("span"),
+                label=data.get("label", ""),
+                scenario=data.get("scenario"),
+                checks=tuple(data.get("checks") or ()),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed job payload: {exc!r}") from None
+
     def run_config(self) -> RunConfig:
         """Rebuild the validated :class:`RunConfig`.
 

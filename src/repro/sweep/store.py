@@ -157,19 +157,62 @@ class ResultStore:
         self.path = path
         self._records: Dict[str, Dict[str, Any]] = {}
         self._outcomes: Dict[str, SweepOutcome] = {}
+        #: Set when a torn tail was dropped but could not be truncated
+        #: away; the next append then starts on a fresh line.
+        self._needs_newline = False
         if path is not None and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                for line_no, line in enumerate(handle, 1):
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError as exc:
-                        raise ExperimentError(
-                            f"{path}:{line_no}: bad JSON in result store: {exc}"
-                        ) from None
-                    self._records[record["job_id"]] = record
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        """Load the JSONL file, tolerating a torn final line.
+
+        A crash mid-:meth:`add` leaves a truncated last line; erroring
+        on it would brick the whole cache, so a malformed *final*
+        record is dropped (and truncated off the file, keeping later
+        appends clean).  Corruption anywhere earlier still raises —
+        silently skipping interior records would return wrong cache
+        misses forever after.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        lines = data.split(b"\n")
+        offsets = []
+        offset = 0
+        for raw in lines:
+            offsets.append(offset)
+            offset += len(raw) + 1
+        last = max(
+            (i for i, raw in enumerate(lines) if raw.strip()), default=None
+        )
+        for i, raw in enumerate(lines):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            record: Any = None
+            error = ""
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                error = str(exc)
+            if not isinstance(record, dict) or "job_id" not in record:
+                if i == last:
+                    self._drop_tail(path, offsets[i])
+                    break
+                raise ExperimentError(
+                    f"{path}:{i + 1}: bad JSON in result store: "
+                    f"{error or 'record is not an object with a job_id'}"
+                )
+            self._records[record["job_id"]] = record
+
+    def _drop_tail(self, path: str, offset: int) -> None:
+        """Remove a torn final line from the backing file."""
+        try:
+            with open(path, "rb+") as handle:
+                handle.truncate(offset)
+        except OSError:
+            # Read-only file: recover in memory and keep appends clean
+            # by prefixing the next one with a newline.
+            self._needs_newline = True
 
     def __len__(self) -> int:
         return len(self._records)
@@ -197,6 +240,9 @@ class ResultStore:
         self._outcomes[outcome.job_id] = replace(outcome, cached=True)
         if self.path is not None:
             with open(self.path, "a", encoding="utf-8") as handle:
+                if self._needs_newline:
+                    handle.write("\n")
+                    self._needs_newline = False
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def iter_outcomes(self) -> Iterator[SweepOutcome]:

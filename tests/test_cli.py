@@ -93,6 +93,62 @@ def test_sweep_small_grid(capsys, tmp_path):
     assert "yes" in out
 
 
+def test_sweep_explicit_serial_backend(capsys):
+    argv = [
+        "sweep", "--policy", "tdvs", "--threshold", "1200",
+        "--window", "40000", "--traffic", "load:800",
+        "--profile", "bench", "--backend", "serial", "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "backend=serial" in out
+    assert "power(W)" in out
+
+
+def test_sweep_distributed_backend_needs_endpoint():
+    from repro.errors import BackendError
+
+    argv = [
+        "sweep", "--policy", "tdvs", "--threshold", "1200",
+        "--window", "40000", "--profile", "bench",
+        "--backend", "distributed", "--quiet",
+    ]
+    with pytest.raises(BackendError):
+        main(argv)
+
+
+@pytest.mark.slow
+def test_worker_command_drains_a_distributed_sweep(capsys):
+    """`repro worker --connect` against an in-process coordinator."""
+    import threading
+
+    from repro.backends import DistributedBackend
+    from repro.sweep import SweepSpec, run_sweep
+
+    jobs = SweepSpec(
+        policies=("none",), traffic=("load:800",),
+        duration_cycles=120_000, process="cbr", seeds=(11,),
+    ).jobs()
+    backend = DistributedBackend(port=0)
+    result = {}
+    sweep = threading.Thread(
+        target=lambda: result.update(outcomes=run_sweep(jobs, backend=backend)),
+        daemon=True,
+    )
+    sweep.start()
+    assert main(["worker", "--connect", backend.address, "--quiet"]) == 0
+    sweep.join(timeout=120)
+    assert not sweep.is_alive()
+    out = capsys.readouterr().out
+    assert "completed 1 job(s)" in out
+    assert len(result["outcomes"]) == 1
+
+
+def test_worker_requires_connect():
+    with pytest.raises(SystemExit):
+        main(["worker"])
+
+
 def test_loc_gen_to_stdout(capsys):
     assert main(["loc-gen", "cycle(deq[i]) - cycle(enq[i]) <= 50"]) == 0
     out = capsys.readouterr().out

@@ -200,6 +200,42 @@ class TestExecution:
         with pytest.raises(ExperimentError):
             run_sweep([], workers=0)
 
+    def test_duplicate_job_ids_execute_once(self, tmp_path):
+        """A job list with repeats runs each unique job once and fans
+        the outcome out to every index (the regression: repeats used to
+        execute — and store — twice)."""
+        path = str(tmp_path / "results.jsonl")
+        a, b = small_spec().jobs()
+        outcomes = run_sweep([a, b, a], workers=1, store=ResultStore(path))
+        assert [o.job_id for o in outcomes] == [a.job_id, b.job_id, a.job_id]
+        assert outcomes[0] is outcomes[2]  # one execution, shared outcome
+        records = [json.loads(line) for line in open(path)]
+        assert sorted(r["job_id"] for r in records) == sorted(
+            [a.job_id, b.job_id]
+        )
+
+    def test_duplicate_job_ids_parallel(self):
+        a, b = small_spec().jobs()
+        serial = run_sweep([a, b, a], workers=1)
+        parallel = run_sweep([a, b, a], workers=2)
+        assert [o.job_id for o in serial] == [o.job_id for o in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.result.totals == p.result.totals
+
+    def test_duplicate_cached_jobs_fan_out(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        a, b = small_spec().jobs()
+        run_sweep([a, b], workers=1, store=ResultStore(path))
+        seen = []
+        outcomes = run_sweep(
+            [a, a, b],
+            workers=1,
+            store=ResultStore(path),
+            progress=lambda done, total, o: seen.append((done, total, o.cached)),
+        )
+        assert [o.cached for o in outcomes] == [True, True, True]
+        assert seen == [(1, 3, True), (2, 3, True), (3, 3, True)]
+
     def test_progress_callback_sees_every_job(self):
         jobs = small_spec().jobs()
         seen = []
@@ -267,11 +303,58 @@ class TestResultStore:
         again = run_sweep(jobs, workers=1, store=store)
         assert [o.cached for o in again] == [True]
 
-    def test_corrupt_store_rejected(self, tmp_path):
+    def test_interior_corruption_rejected(self, tmp_path):
+        """Bad JSON *before* the final line is real corruption."""
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n")
-        with pytest.raises(ExperimentError):
+        good = json.dumps({"job_id": "aa", "result": {}})
+        path.write_text(f"not json\n{good}\n")
+        with pytest.raises(ExperimentError) as excinfo:
             ResultStore(str(path))
+        assert ":1:" in str(excinfo.value)
+
+    def test_truncated_final_line_recovered(self, tmp_path):
+        """A crash mid-add leaves a torn last line; the cache survives."""
+        path = str(tmp_path / "results.jsonl")
+        jobs = small_spec().jobs()
+        run_sweep(jobs, workers=1, store=ResultStore(path))
+        first, second = open(path, "r", encoding="utf-8").read().splitlines(True)
+        open(path, "w", encoding="utf-8").write(first + second[: len(second) // 2])
+
+        store = ResultStore(path)  # first record intact, tail dropped
+        assert len(store) == 1
+        assert store.get(jobs[0].job_id) is not None
+        assert store.get(jobs[1].job_id) is None
+
+    def test_recovery_truncates_and_appends_cleanly(self, tmp_path):
+        """After recovery the torn bytes are gone, so re-running the
+        missing job appends a well-formed line (the regression: the
+        old append would glue JSON onto the torn tail)."""
+        path = str(tmp_path / "results.jsonl")
+        jobs = small_spec().jobs()
+        run_sweep(jobs, workers=1, store=ResultStore(path))
+        first, second = open(path, "r", encoding="utf-8").read().splitlines(True)
+        open(path, "w", encoding="utf-8").write(first + second[: len(second) // 2])
+
+        flags = [o.cached for o in run_sweep(jobs, workers=1, store=ResultStore(path))]
+        assert flags == [True, False]
+        records = [json.loads(line) for line in open(path)]
+        assert sorted(r["job_id"] for r in records) == sorted(j.job_id for j in jobs)
+        assert all(o.cached for o in run_sweep(jobs, workers=1, store=ResultStore(path)))
+
+    def test_final_line_without_job_id_recovered(self, tmp_path):
+        """A tail that parses as JSON but is not a record also drops."""
+        path = str(tmp_path / "results.jsonl")
+        jobs = small_spec(policies=("none",)).jobs()
+        run_sweep(jobs, workers=1, store=ResultStore(path))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"half": true}')
+        store = ResultStore(path)
+        assert len(store) == 1
+
+    def test_empty_and_blank_stores_load(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n")
+        assert len(ResultStore(str(path))) == 0
 
     def test_outcome_round_trip_preserves_scenario_runs(self, tmp_path):
         path = str(tmp_path / "results.jsonl")
