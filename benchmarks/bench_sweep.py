@@ -1,4 +1,4 @@
-"""Benches for the sweep engine: per-backend wall-clock.
+"""Benches for the sweep engine: per-backend wall-clock and streaming.
 
 Times the same job grid through every execution backend — serial
 (``workers=1``, the in-process path), the local process pool, and the
@@ -8,9 +8,15 @@ speedup so sweep scaling is recorded alongside the figure benches.  On
 single-core runners the pool/queue carry fork and socket overhead with
 no win — the interesting number there is how small the overhead stays.
 
-Each timed backend also lands in ``BENCH_sweep.json`` (per-backend
-wall-clock seconds and jobs/sec), the machine-readable artifact CI
-uploads so the sweep-engine perf trajectory is tracked run over run.
+Sweeps run through :meth:`repro.api.Session.stream`, so each backend
+also reports its **time-to-first-outcome** — the latency before a
+monitoring hook (or a study's LOC gate) sees the first verdict, the
+number the streaming session API exists to shrink.
+
+Each timed backend lands in ``BENCH_sweep.json`` (per-backend
+wall-clock seconds, jobs/sec and ttfo seconds), the machine-readable
+artifact CI uploads so the sweep-engine perf trajectory is tracked run
+over run.
 """
 
 import json
@@ -18,7 +24,8 @@ import os
 import threading
 import time
 
-from repro.sweep import SweepSpec, run_sweep
+from repro.api import ExecutionPolicy, Session
+from repro.sweep import SweepSpec
 
 from conftest import run_once
 
@@ -36,7 +43,7 @@ SPEC = SweepSpec(
 BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_sweep.json")
 
 
-def _record(backend_name, wall_s, n_jobs):
+def _record(backend_name, wall_s, n_jobs, ttfo_s=None):
     """Merge one backend's figures into the JSON artifact."""
     data = {}
     if os.path.exists(BENCH_JSON):
@@ -49,31 +56,54 @@ def _record(backend_name, wall_s, n_jobs):
     backends[backend_name] = {
         "wall_s": round(wall_s, 4),
         "jobs_per_s": round(n_jobs / wall_s, 4) if wall_s > 0 else None,
+        "ttfo_s": round(ttfo_s, 4) if ttfo_s is not None else None,
     }
     with open(BENCH_JSON, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
-def _timed_sweep(jobs, **kwargs):
+def _timed_stream(jobs, execution=None, **session_kwargs):
+    """Drain ``session.stream``; wall-clock plus time-to-first-outcome.
+
+    Outcomes come back in completion order; callers compare via
+    :func:`_by_job_order`.
+    """
+    session = Session(execution=execution, **session_kwargs)
     start = time.perf_counter()
-    outcomes = run_sweep(jobs, **kwargs)
-    return outcomes, time.perf_counter() - start
+    first_s = None
+    outcomes = []
+    for outcome in session.stream(jobs):
+        if first_s is None:
+            first_s = time.perf_counter() - start
+        outcomes.append(outcome)
+    return outcomes, time.perf_counter() - start, first_s
+
+
+def _by_job_order(jobs, outcomes):
+    by_id = {outcome.job_id: outcome for outcome in outcomes}
+    return [by_id[job.job_id] for job in jobs]
 
 
 def test_sweep_serial_vs_parallel_wall_clock(benchmark):
     jobs = SPEC.jobs()
-    serial, serial_s = _timed_sweep(jobs, workers=1)
-    (parallel, parallel_s) = run_once(benchmark, _timed_sweep, jobs, workers=4)
-    _record("serial", serial_s, len(jobs))
-    _record("process", parallel_s, len(jobs))
+    serial, serial_s, serial_ttfo = _timed_stream(
+        jobs, ExecutionPolicy(workers=1)
+    )
+    (parallel, parallel_s, parallel_ttfo) = run_once(
+        benchmark, _timed_stream, jobs, ExecutionPolicy(workers=4)
+    )
+    _record("serial", serial_s, len(jobs), ttfo_s=serial_ttfo)
+    _record("process", parallel_s, len(jobs), ttfo_s=parallel_ttfo)
 
     print(
-        f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s, "
-        f"4 workers {parallel_s:.2f}s, speedup {serial_s / parallel_s:.2f}x"
+        f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s "
+        f"(first outcome {serial_ttfo:.2f}s), "
+        f"4 workers {parallel_s:.2f}s (first outcome {parallel_ttfo:.2f}s), "
+        f"speedup {serial_s / parallel_s:.2f}x"
     )
     # The acceptance property: worker count never changes the numbers.
-    for s, p in zip(serial, parallel):
+    for s, p in zip(serial, _by_job_order(jobs, parallel)):
         assert s.result.totals == p.result.totals
         assert s.power_dist.counts == p.power_dist.counts
 
@@ -85,7 +115,7 @@ def test_sweep_distributed_loopback_wall_clock(benchmark):
     from repro.backends.worker import run_worker
 
     jobs = SPEC.jobs()
-    serial, serial_s = _timed_sweep(jobs, workers=1)
+    serial, serial_s, _ = _timed_stream(jobs, ExecutionPolicy(workers=1))
 
     def distributed_sweep():
         backend = DistributedBackend(port=0)
@@ -98,34 +128,47 @@ def test_sweep_distributed_loopback_wall_clock(benchmark):
         ]
         for worker in workers:
             worker.start()
-        outcomes, wall_s = _timed_sweep(jobs, backend=backend)
+        outcomes, wall_s, ttfo_s = _timed_stream(
+            jobs, ExecutionPolicy(backend=backend)
+        )
         for worker in workers:
             worker.join(timeout=60)
-        return outcomes, wall_s
+        return outcomes, wall_s, ttfo_s
 
-    (distributed, distributed_s) = run_once(benchmark, distributed_sweep)
-    _record("distributed", distributed_s, len(jobs))
+    (distributed, distributed_s, distributed_ttfo) = run_once(
+        benchmark, distributed_sweep
+    )
+    _record("distributed", distributed_s, len(jobs), ttfo_s=distributed_ttfo)
 
     print(
         f"\nsweep of {len(jobs)} jobs: serial {serial_s:.2f}s, distributed "
-        f"(2 loopback workers) {distributed_s:.2f}s, "
+        f"(2 loopback workers) {distributed_s:.2f}s "
+        f"(first outcome {distributed_ttfo:.2f}s), "
         f"speedup {serial_s / distributed_s:.2f}x"
     )
-    for s, d in zip(serial, distributed):
+    for s, d in zip(serial, _by_job_order(jobs, distributed)):
         assert s.result.totals == d.result.totals
         assert s.power_dist.counts == d.power_dist.counts
 
 
 def test_sweep_store_cache_replay_is_fast(benchmark, tmp_path):
-    from repro.sweep import ResultStore
+    from repro.api import StorePolicy
 
     path = str(tmp_path / "results.jsonl")
     jobs = SPEC.jobs()
-    run_sweep(jobs, workers=1, store=ResultStore(path))
+    _timed_stream(
+        jobs, ExecutionPolicy(workers=1), store=StorePolicy(path=path)
+    )
 
     start = time.perf_counter()
-    replay = run_once(benchmark, run_sweep, jobs, workers=1, store=ResultStore(path))
+    (replay, _, replay_ttfo) = run_once(
+        benchmark,
+        _timed_stream,
+        jobs,
+        ExecutionPolicy(workers=1),
+        store=StorePolicy(path=path),
+    )
     replay_s = time.perf_counter() - start
-    _record("store_replay", replay_s, len(jobs))
+    _record("store_replay", replay_s, len(jobs), ttfo_s=replay_ttfo)
     print(f"\ncache replay of {len(jobs)} jobs: {replay_s:.3f}s")
     assert all(outcome.cached for outcome in replay)

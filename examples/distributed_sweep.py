@@ -24,9 +24,10 @@ Usage::
 import sys
 import threading
 
+from repro.api import ExecutionPolicy, Session
 from repro.backends import DistributedBackend
 from repro.backends.worker import run_worker
-from repro.sweep import SweepSpec, run_sweep, summarize
+from repro.sweep import SweepSpec, summarize
 
 
 def main() -> int:
@@ -56,12 +57,13 @@ def main() -> int:
         worker.start()
     print(f"{len(jobs)} jobs across {n_workers} loopback workers")
 
-    distributed = run_sweep(jobs, backend=backend)
+    session = Session(execution=ExecutionPolicy(backend=backend))
+    distributed = session.sweep(jobs)
     for worker in workers:
         worker.join(timeout=30)
     print(summarize(distributed))
 
-    serial = run_sweep(jobs, workers=1)
+    serial = Session(execution=ExecutionPolicy(workers=1)).sweep(jobs)
     identical = all(
         d.result.totals == s.result.totals for d, s in zip(distributed, serial)
     )

@@ -8,6 +8,10 @@ cheapest configuration *whose assertions hold* — plus the full
 power / loss / latency Pareto front per scenario.  Re-running the
 script skips every completed job via the store cache.
 
+Per-scenario verdicts stream as each scenario's grid drains
+(``on_scenario_complete``) — the session-API payoff: LOC-gated winners
+appear while later scenarios are still simulating.
+
 Usage::
 
     PYTHONPATH=src python examples/policy_study.py [workers]
@@ -15,9 +19,10 @@ Usage::
 
 import sys
 
-from repro.studies import StudySpec, run_study
+from repro.api import EventHooks, ExecutionPolicy, Session, StorePolicy
+from repro.studies import StudySpec
 from repro.studies.report import render_markdown, render_pareto_text, render_text
-from repro.sweep import ResultStore, progress_printer
+from repro.sweep import progress_printer
 
 SCENARIOS = ("flash_crowd", "link_failover", "bursty_onoff", "overnight_trough")
 
@@ -35,11 +40,17 @@ def main() -> int:
     )
     print(f"{spec.job_count()} jobs across {len(SCENARIOS)} scenarios, "
           f"{workers} workers")
-    result = run_study(
+    session = Session(
+        execution=ExecutionPolicy(workers=workers),
+        store=StorePolicy(path="policy_study_results.jsonl"),
+        hooks=EventHooks(progress=progress_printer()),
+    )
+    result = session.study(
         spec,
-        workers=workers,
-        store=ResultStore("policy_study_results.jsonl"),
-        progress=progress_printer(),
+        on_scenario_complete=lambda verdict: print(
+            f"  -> {verdict.scenario}: "
+            + (verdict.winner.policy if verdict.winner else "no gated winner")
+        ),
     )
 
     print()

@@ -2,9 +2,11 @@
 
 Runs the no-DVS baseline plus the paper's optimal TDVS and EDVS
 configurations against a handful of catalog workloads
-(:mod:`repro.scenarios`), fanned out over worker processes with a JSONL
-result store, then prints per-scenario power savings.  Re-running the
-script skips every completed job via the store cache.
+(:mod:`repro.scenarios`) through a :class:`repro.api.Session` — the
+execution policy (workers) and store policy (JSONL cache) are bound
+once, then the sweep runs under them — and prints per-scenario power
+savings.  Re-running the script skips every completed job via the
+store cache.
 
 Usage::
 
@@ -13,7 +15,8 @@ Usage::
 
 import sys
 
-from repro.sweep import ResultStore, SweepSpec, progress_printer, run_sweep
+from repro.api import EventHooks, ExecutionPolicy, Session, StorePolicy
+from repro.sweep import SweepSpec, progress_printer
 
 SCENARIOS = ("flash_crowd", "ddos_min64", "bursty_onoff", "overnight_trough")
 
@@ -30,12 +33,12 @@ def main() -> int:
     )
     jobs = spec.jobs()
     print(f"{len(jobs)} jobs across {len(SCENARIOS)} scenarios, {workers} workers")
-    outcomes = run_sweep(
-        jobs,
-        workers=workers,
-        store=ResultStore("scenario_sweep_results.jsonl"),
-        progress=progress_printer(),
+    session = Session(
+        execution=ExecutionPolicy(workers=workers),
+        store=StorePolicy(path="scenario_sweep_results.jsonl"),
+        hooks=EventHooks(progress=progress_printer()),
     )
+    outcomes = session.sweep(jobs)
 
     by_key = {o.label: o for o in outcomes}
     print(f"\n{'scenario':18s} {'noDVS W':>8s} {'TDVS W':>8s} {'EDVS W':>8s} "

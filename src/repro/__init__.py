@@ -23,10 +23,18 @@ Quickstart
 >>> result.totals.forwarded_packets > 0
 True
 
+Grids, studies and experiments run through the session API
+(:mod:`repro.api`) — a :class:`~repro.api.session.Session` owns the
+execution policy (backend, workers, store, event hooks) once:
+
+>>> from repro import ExecutionPolicy, Session
+>>> session = Session(execution=ExecutionPolicy(backend="serial"))
+
 See ``examples/`` for runnable scenarios and ``repro.experiments`` for
 the per-figure reproduction harnesses.
 """
 
+from repro.api import EventHooks, ExecutionPolicy, Session, StorePolicy
 from repro.config import (
     DvsConfig,
     MemoryConfig,
@@ -44,6 +52,8 @@ from repro.version import PAPER, __version__
 
 __all__ = [
     "DvsConfig",
+    "EventHooks",
+    "ExecutionPolicy",
     "MemoryConfig",
     "NpuConfig",
     "PAPER",
@@ -54,7 +64,9 @@ __all__ = [
     "RunConfig",
     "RunResult",
     "Scenario",
+    "Session",
     "SimulationRun",
+    "StorePolicy",
     "StudySpec",
     "SweepSpec",
     "TrafficConfig",

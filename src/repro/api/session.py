@@ -1,0 +1,321 @@
+"""The :class:`Session` facade: one object that owns execution policy.
+
+A session binds an :class:`~repro.api.policy.ExecutionPolicy`, a
+:class:`~repro.api.policy.StorePolicy` and an
+:class:`~repro.api.events.EventHooks` bundle once, then offers every
+entry point of the reproduction through them:
+
+* :meth:`Session.run` — one configuration, one outcome;
+* :meth:`Session.sweep` — a grid, outcomes in job order;
+* :meth:`Session.stream` — the same grid, outcomes yielded **in
+  completion order** as the backend finishes them (cached hits first);
+* :meth:`Session.study` — a scenario-conditioned policy study, with
+  per-scenario verdicts available the moment each scenario's grid
+  drains;
+* :meth:`Session.experiment` — a registered paper figure, executed
+  under the session's policy.
+
+The legacy entry points (:func:`repro.sweep.engine.run_sweep`,
+:func:`repro.studies.engine.run_study`) are deprecation shims over a
+default-configured session and remain bit-identical — including their
+environment-variable behaviour, because a policy field left ``None``
+defers to the same variables at the same moment the old code read them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.events import EventHooks, chain_hooks
+from repro.api.policy import ExecutionPolicy, StorePolicy
+from repro.config import RunConfig
+from repro.errors import BackendError
+from repro.sweep.spec import Job, SweepSpec
+from repro.sweep.store import ResultStore, SweepOutcome
+
+JobsLike = Union[SweepSpec, Sequence[Job]]
+
+
+class Session:
+    """A configured entry point for runs, sweeps, studies, experiments.
+
+    Parameters
+    ----------
+    execution:
+        Backend / worker / connect / retry policy (default: the legacy
+        environment-deferring behaviour).
+    store:
+        Result persistence and cache-reuse policy (default: no store).
+    hooks:
+        Session-wide event subscribers; per-call hooks layer on top.
+    """
+
+    def __init__(
+        self,
+        execution: Optional[ExecutionPolicy] = None,
+        store: Optional[StorePolicy] = None,
+        hooks: Optional[EventHooks] = None,
+    ):
+        self.execution = execution or ExecutionPolicy()
+        self.store = store or StorePolicy()
+        self.hooks = hooks or EventHooks()
+
+    # -- single runs -----------------------------------------------------
+    def run(
+        self,
+        config: Union[RunConfig, Dict, Job],
+        span: Optional[int] = None,
+        label: str = "",
+        checks: Sequence[str] = (),
+    ) -> SweepOutcome:
+        """Run one configuration under the session's policies.
+
+        Accepts a :class:`~repro.config.RunConfig` (or its dict form),
+        or a pre-built :class:`~repro.sweep.spec.Job`.  The result-store
+        policy applies: a cached outcome is served without simulating.
+        """
+        if isinstance(config, Job):
+            job = config
+        else:
+            job = Job.build(config, span=span, label=label, checks=checks)
+        return self.sweep([job])[0]
+
+    # -- sweeps ----------------------------------------------------------
+    def sweep(
+        self, jobs: JobsLike, hooks: Optional[EventHooks] = None
+    ) -> List[SweepOutcome]:
+        """Run a sweep and return outcomes in job order.
+
+        Duplicate job ids execute once; the shared outcome (including
+        the first occurrence's display label) lands at every index.
+        """
+        jobs = self._expand(jobs)
+        by_id: Dict[str, SweepOutcome] = {}
+        for outcome in self.stream(jobs, hooks=hooks):
+            by_id[outcome.job_id] = outcome
+        return [by_id[job.job_id] for job in jobs]
+
+    def stream(
+        self, jobs: JobsLike, hooks: Optional[EventHooks] = None
+    ) -> Iterator[SweepOutcome]:
+        """Run a sweep, yielding outcomes **in completion order**.
+
+        Cached outcomes (store hits) stream first, in job order; fresh
+        outcomes follow as the backend finishes them — any backend, any
+        worker count, same numbers.  Each unique job id yields exactly
+        once.  Event hooks fire as outcomes are yielded; the
+        ``progress`` hook ticks once per job *index* (duplicates
+        included), preserving the legacy progress contract.
+        """
+        jobs = self._expand(jobs)
+        # Validate the worker policy before the generator starts, so a
+        # bad count raises at the call site even if never iterated.
+        self.execution.resolved_workers()
+        merged = chain_hooks(self.hooks, hooks)
+        return self._stream(jobs, merged)
+
+    def _expand(self, jobs: JobsLike) -> List[Job]:
+        if isinstance(jobs, SweepSpec):
+            return jobs.jobs()
+        return list(jobs)
+
+    def _stream(
+        self, jobs: List[Job], hooks: EventHooks
+    ) -> Iterator[SweepOutcome]:
+        from repro.backends import run_backend
+        from repro.backends.base import ExecutionBackend
+
+        total = len(jobs)
+        done = 0
+
+        # Group indices by job id so repeats execute exactly once.
+        indices_by_id: Dict[str, List[int]] = {}
+        first_jobs: List[Job] = []
+        for index, job in enumerate(jobs):
+            slots = indices_by_id.setdefault(job.job_id, [])
+            if not slots:
+                first_jobs.append(job)
+            slots.append(index)
+
+        def emit(outcome: SweepOutcome) -> None:
+            nonlocal done
+            for _ in indices_by_id[outcome.job_id]:
+                done += 1
+                if hooks.progress is not None:
+                    hooks.progress(done, total, outcome)
+            if hooks.on_outcome is not None:
+                hooks.on_outcome(outcome)
+            if hooks.on_check_failed is not None and outcome.check_results:
+                failed = [c for c in outcome.check_results if not c.passed]
+                if failed:
+                    hooks.on_check_failed(outcome, failed)
+
+        store: Optional[ResultStore] = self.store.make()
+        pending: List[Job] = []
+        cached_hits: List[SweepOutcome] = []
+        for job in first_jobs:
+            cached = (
+                store.get(job.job_id)
+                if store is not None and self.store.reuse
+                else None
+            )
+            if cached is not None:
+                cached_hits.append(cached)
+            else:
+                pending.append(job)
+        for outcome in cached_hits:
+            emit(outcome)
+            yield outcome
+
+        if not pending:
+            # Single-use contract even when everything was cached.
+            if isinstance(self.execution.backend, ExecutionBackend):
+                self.execution.backend.close()
+            return
+
+        open_ids = {job.job_id for job in pending}
+        backend = self.execution.make_backend(len(pending))
+        try:
+            for outcome in run_backend(backend, pending, hooks.on_job_start):
+                if outcome.job_id not in open_ids:
+                    raise BackendError(
+                        f"backend {backend.name!r} yielded unknown or "
+                        f"duplicate job id {outcome.job_id!r}"
+                    )
+                open_ids.discard(outcome.job_id)
+                if store is not None:
+                    store.add(outcome)
+                emit(outcome)
+                yield outcome
+        finally:
+            backend.close()
+        if open_ids:
+            raise BackendError(
+                f"backend {backend.name!r} finished without yielding "
+                f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
+            )
+
+    # -- studies ---------------------------------------------------------
+    def study(
+        self,
+        spec,
+        jobs_by_scenario: Optional[Sequence[Tuple[str, List[Job]]]] = None,
+        hooks: Optional[EventHooks] = None,
+        on_scenario_complete=None,
+    ):
+        """Run a scenario-conditioned policy study (one streamed sweep).
+
+        Parameters mirror :func:`repro.studies.engine.run_study`.
+        ``on_scenario_complete(verdict)`` fires the moment the last
+        outcome of a scenario's grid lands — with that scenario's
+        :class:`~repro.studies.policymap.ScenarioVerdict`, identical to
+        its entry in the final map — so gates short-circuit per
+        scenario instead of waiting for the whole study.
+        """
+        from repro.studies.engine import StudyResult
+        from repro.studies.policymap import PolicyMap
+
+        per_scenario = (
+            list(jobs_by_scenario)
+            if jobs_by_scenario is not None
+            else spec.jobs_by_scenario()
+        )
+        flat_jobs = [job for _, jobs in per_scenario for job in jobs]
+
+        study_hooks = hooks
+        if on_scenario_complete is not None:
+            study_hooks = chain_hooks(
+                hooks,
+                EventHooks(
+                    on_outcome=_ScenarioCompletionTracker(
+                        spec, per_scenario, on_scenario_complete
+                    )
+                ),
+            )
+
+        flat_outcomes = self.sweep(flat_jobs, hooks=study_hooks)
+
+        outcomes_by_scenario: List[Tuple[str, List[SweepOutcome]]] = []
+        cursor = 0
+        for scenario_name, jobs in per_scenario:
+            chunk = flat_outcomes[cursor : cursor + len(jobs)]
+            cursor += len(jobs)
+            outcomes_by_scenario.append((scenario_name, list(chunk)))
+
+        policy_map = PolicyMap.build(spec, outcomes_by_scenario)
+        return StudyResult(
+            spec=spec,
+            policy_map=policy_map,
+            outcomes_by_scenario=outcomes_by_scenario,
+        )
+
+    # -- experiments -----------------------------------------------------
+    def experiment(self, experiment_id: str, profile: str = "quick"):
+        """Run a registered paper experiment under the session's
+        *execution* policy.
+
+        Experiment grids consult the legacy environment variables, so
+        the session exports its explicit backend/workers/connect fields
+        for the duration of the run (see
+        :meth:`~repro.api.policy.ExecutionPolicy.scoped_env`).  Only
+        those fields apply: experiment runners own their internal
+        sweeps, so the session's :class:`StorePolicy`, event hooks and
+        the distributed ``retries``/``lease_s`` knobs do not reach
+        them — use :meth:`sweep`/:meth:`study` directly when those
+        matter.
+        """
+        from repro.experiments.registry import get_experiment
+
+        with self.execution.scoped_env():
+            return get_experiment(experiment_id).run(profile)
+
+
+class _ScenarioCompletionTracker:
+    """Fires a study's per-scenario verdicts as grids drain."""
+
+    def __init__(self, spec, per_scenario, on_scenario_complete):
+        self.spec = spec
+        self.on_scenario_complete = on_scenario_complete
+        self.jobs_of = {name: list(jobs) for name, jobs in per_scenario}
+        self.pending = {
+            name: {job.job_id for job in jobs} for name, jobs in per_scenario
+        }
+        self.scenarios_by_id: Dict[str, List[str]] = {}
+        for name, jobs in per_scenario:
+            for job in jobs:
+                self.scenarios_by_id.setdefault(job.job_id, []).append(name)
+        self.collected: Dict[str, SweepOutcome] = {}
+
+    def __call__(self, outcome: SweepOutcome) -> None:
+        from repro.studies.policymap import PolicyMap
+
+        self.collected[outcome.job_id] = outcome
+        for name in self.scenarios_by_id.get(outcome.job_id, ()):
+            remaining = self.pending.get(name)
+            if remaining is None:
+                continue
+            remaining.discard(outcome.job_id)
+            if remaining:
+                continue
+            del self.pending[name]
+            ordered = [self.collected[j.job_id] for j in self.jobs_of[name]]
+            verdict = PolicyMap.build(self.spec, [(name, ordered)]).entries[name]
+            self.on_scenario_complete(verdict)
+
+
+#: The lazily created all-defaults session behind the legacy shims.
+_DEFAULT: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The shared default session (all policies at their defaults).
+
+    This is what the legacy :func:`~repro.sweep.engine.run_sweep` /
+    :func:`~repro.studies.engine.run_study` shims delegate to when
+    called without overrides; it defers every unset policy field to the
+    environment, exactly as the pre-session engine did.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Session()
+    return _DEFAULT

@@ -35,8 +35,8 @@ import os
 from typing import Optional, Union
 
 from repro.errors import BackendError
-from repro.backends.base import ExecutionBackend
-from repro.backends.distributed import DistributedBackend
+from repro.backends.base import ExecutionBackend, StartFn, run_backend
+from repro.backends.distributed import DistributedBackend, LeaseClock
 from repro.backends.local import ProcessBackend, SerialBackend
 from repro.backends.protocol import PROTOCOL_VERSION, parse_endpoint
 from repro.backends.worker import run_worker
@@ -59,13 +59,18 @@ def get_backend(
     workers: Optional[int] = None,
     connect: Optional[str] = None,
     log=None,
+    lease_s: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build a backend from a selector token (or pass one through).
 
     ``name=None`` consults ``REPRO_SWEEP_BACKEND`` and falls back to
     the classic behaviour: serial for ``workers`` <= 1, the local
     process pool otherwise.  ``connect`` (or ``REPRO_SWEEP_CONNECT``)
-    gives the distributed coordinator its ``HOST:PORT`` to listen on.
+    gives the distributed coordinator its ``HOST:PORT`` to listen on;
+    ``lease_s`` / ``max_retries`` tune its fault tolerance (both are
+    ignored by the local backends, and by pre-built instances, which
+    pass through untouched).
     """
     if isinstance(name, ExecutionBackend):
         return name
@@ -89,7 +94,12 @@ def get_backend(
                 "--connect HOST:PORT (or set REPRO_SWEEP_CONNECT)"
             )
         host, port = parse_endpoint(connect)
-        return DistributedBackend(host=host, port=port, log=log)
+        extra = {}
+        if lease_s is not None:
+            extra["lease_s"] = lease_s
+        if max_retries is not None:
+            extra["max_retries"] = max_retries
+        return DistributedBackend(host=host, port=port, log=log, **extra)
     raise BackendError(
         f"unknown sweep backend {name!r}; expected one of "
         + ", ".join(BACKEND_NAMES)
@@ -102,10 +112,13 @@ __all__ = [
     "CONNECT_ENV_VAR",
     "DistributedBackend",
     "ExecutionBackend",
+    "LeaseClock",
     "PROTOCOL_VERSION",
     "ProcessBackend",
     "SerialBackend",
+    "StartFn",
     "get_backend",
     "parse_endpoint",
+    "run_backend",
     "run_worker",
 ]

@@ -24,10 +24,17 @@ store themselves.
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Sequence
+import inspect
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.sweep.spec import Job
 from repro.sweep.store import SweepOutcome
+
+#: Dispatch notification: called when a job starts executing (serial),
+#: is submitted to the pool (process), or is granted to a worker
+#: (distributed).  May fire from a non-main thread, and more than once
+#: for a job the distributed backend requeues after a lost lease.
+StartFn = Callable[[Job], None]
 
 
 class ExecutionBackend(abc.ABC):
@@ -38,8 +45,14 @@ class ExecutionBackend(abc.ABC):
     name: str = "?"
 
     @abc.abstractmethod
-    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+    def run(
+        self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
+    ) -> Iterator[SweepOutcome]:
         """Execute ``jobs``, yielding one outcome each, in any order.
+
+        ``on_start`` is the dispatch notification of the session event
+        surface (see :data:`StartFn`); backends that cannot observe job
+        starts may fire it at submission time instead.
 
         A backend instance is single-use: after the generator is
         exhausted (or closed), the backend's resources are released and
@@ -48,3 +61,29 @@ class ExecutionBackend(abc.ABC):
 
     def close(self) -> None:
         """Release any resources held outside :meth:`run` (idempotent)."""
+
+
+def run_backend(
+    backend: ExecutionBackend,
+    jobs: Sequence[Job],
+    on_start: Optional[StartFn] = None,
+) -> Iterator[SweepOutcome]:
+    """Call :meth:`ExecutionBackend.run`, tolerating legacy signatures.
+
+    Third-party backends written against the pre-session contract take
+    only ``jobs``; for those, every job is announced up front (they are
+    all about to be dispatched) and the plain iterator is returned.
+    """
+    try:
+        parameters = inspect.signature(backend.run).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        parameters = {}
+    accepts_on_start = "on_start" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if accepts_on_start:
+        return backend.run(jobs, on_start=on_start)
+    if on_start is not None:
+        for job in jobs:
+            on_start(job)
+    return backend.run(jobs)

@@ -8,6 +8,11 @@ lease discipline:
 
 * every grant carries a **lease**: the worker must heartbeat before
   the lease term expires or the job is presumed lost;
+* the lease term is **adaptive**: it starts at ``lease_s`` and then
+  tracks observed job wall-clock (an EWMA with a floor, see
+  :class:`LeaseClock`) — short jobs shrink the term so dead workers
+  are detected in seconds, long jobs grow it so network jitter never
+  costs a spurious requeue;
 * a worker whose connection drops (crash, ``SIGKILL``, network cut)
   has all of its leased jobs **requeued immediately**;
 * requeues are **bounded**: a job granted more than ``1 + max_retries``
@@ -34,7 +39,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import BackendError, ExperimentError
-from repro.backends.base import ExecutionBackend
+from repro.backends.base import ExecutionBackend, StartFn
 from repro.backends.protocol import (
     DEFAULT_HOST,
     PROTOCOL_VERSION,
@@ -48,6 +53,58 @@ from repro.sweep.store import SweepOutcome
 LogFn = Callable[[str], None]
 
 
+class LeaseClock:
+    """Adaptive lease term derived from observed job wall-clock.
+
+    Grants start at ``initial_s``.  Every completed job feeds its
+    wall-clock into an EWMA; once one exists the term becomes
+    ``margin * ewma`` clamped to ``[floor_s, cap_s]``.  The floor keeps
+    sub-second jobs from producing a term shorter than a worker can
+    reliably heartbeat; the cap bounds how long a truly dead worker can
+    sit on a lease after a run of very long jobs.
+    """
+
+    def __init__(
+        self,
+        initial_s: float,
+        floor_s: float = 2.0,
+        margin: float = 4.0,
+        cap_s: float = 300.0,
+        alpha: float = 0.3,
+    ):
+        if floor_s <= 0 or initial_s <= 0:
+            raise BackendError("lease terms must be positive")
+        if margin <= 0:
+            raise BackendError(f"lease margin must be positive, got {margin}")
+        if not 0.0 < alpha <= 1.0:
+            raise BackendError(f"lease EWMA alpha must be in (0, 1], got {alpha}")
+        if cap_s < floor_s:
+            raise BackendError(
+                f"lease cap {cap_s}s is below the floor {floor_s}s"
+            )
+        self.initial_s = initial_s
+        self.floor_s = floor_s
+        self.margin = margin
+        self.cap_s = cap_s
+        self.alpha = alpha
+        self.ewma_s: Optional[float] = None
+
+    def observe(self, wall_s: float) -> None:
+        """Feed one completed job's wall-clock into the EWMA."""
+        wall_s = max(0.0, wall_s)
+        if self.ewma_s is None:
+            self.ewma_s = wall_s
+        else:
+            self.ewma_s = self.alpha * wall_s + (1.0 - self.alpha) * self.ewma_s
+
+    @property
+    def term_s(self) -> float:
+        """The lease term the next grant should carry."""
+        if self.ewma_s is None:
+            return self.initial_s
+        return min(max(self.floor_s, self.margin * self.ewma_s), self.cap_s)
+
+
 @dataclass
 class _Lease:
     """One outstanding job grant."""
@@ -55,13 +112,18 @@ class _Lease:
     job: Job
     worker: str
     deadline: float
+    #: The term this grant was issued under; heartbeats extend by this
+    #: (not the clock's current term), so a lease always stays
+    #: consistent with the heartbeat cadence its worker was told.
+    term_s: float
+    granted_at: float
 
 
 class _State:
     """Shared coordinator state, guarded by one lock."""
 
-    def __init__(self, jobs: Sequence[Job], lease_s: float, max_retries: int,
-                 log: Optional[LogFn]):
+    def __init__(self, jobs: Sequence[Job], clock: LeaseClock, max_retries: int,
+                 log: Optional[LogFn], on_start: Optional[StartFn] = None):
         self.lock = threading.Lock()
         self.pending = deque(jobs)
         self.leases: Dict[str, _Lease] = {}
@@ -69,11 +131,13 @@ class _State:
         self.completed = set()
         self.total = len(jobs)
         self.results: "queue.Queue[object]" = queue.Queue()
-        self.lease_s = lease_s
+        self.clock = clock
+        self.lease_s = clock.initial_s
         self.max_retries = max_retries
         self.failed = False
         self.shutdown = threading.Event()
         self.log = log
+        self.on_start = on_start
 
     def _say(self, line: str) -> None:
         if self.log is not None:
@@ -81,27 +145,37 @@ class _State:
 
     def grant(self, worker: str) -> dict:
         """Answer one ``pull``: a job, a wait, or a shutdown."""
+        granted: Optional[Job] = None
         with self.lock:
             if self.failed or self.shutdown.is_set():
                 return {"type": "shutdown"}
             if self.pending:
                 job = self.pending.popleft()
+                now = time.monotonic()
+                term_s = self.clock.term_s
                 self.grants[job.job_id] = self.grants.get(job.job_id, 0) + 1
                 self.leases[job.job_id] = _Lease(
                     job=job, worker=worker,
-                    deadline=time.monotonic() + self.lease_s,
+                    deadline=now + term_s, term_s=term_s, granted_at=now,
                 )
-                return {"type": "job", "job": job.to_dict(), "lease_s": self.lease_s}
-            if len(self.completed) >= self.total:
+                granted = job
+                reply = {"type": "job", "job": job.to_dict(), "lease_s": term_s}
+            elif len(self.completed) >= self.total:
                 return {"type": "shutdown"}
-            return {"type": "wait", "poll_s": 0.2}
+            else:
+                return {"type": "wait", "poll_s": 0.2}
+        # Fire the dispatch hook outside the lock: a slow subscriber
+        # must never stall heartbeats or completions.
+        if granted is not None and self.on_start is not None:
+            self.on_start(granted)
+        return reply
 
     def heartbeat(self, job_id: str, worker: str) -> None:
         """Extend a live lease (stale heartbeats are ignored)."""
         with self.lock:
             lease = self.leases.get(job_id)
             if lease is not None and lease.worker == worker:
-                lease.deadline = time.monotonic() + self.lease_s
+                lease.deadline = time.monotonic() + lease.term_s
 
     def complete(self, job_id: str, outcome: SweepOutcome) -> None:
         """Deliver an outcome exactly once; duplicates are dropped."""
@@ -110,7 +184,9 @@ class _State:
                 self._say(f"dropping duplicate outcome for {job_id}")
                 return
             self.completed.add(job_id)
-            self.leases.pop(job_id, None)
+            lease = self.leases.pop(job_id, None)
+            if lease is not None:
+                self.clock.observe(time.monotonic() - lease.granted_at)
             # A late delivery may race a lease-expiry requeue: purge the
             # pending copy so the finished job is never granted again.
             if any(job.job_id == job_id for job in self.pending):
@@ -172,9 +248,16 @@ class DistributedBackend(ExecutionBackend):
         loopback workers).  The socket binds eagerly, so the address
         is printable before the sweep starts.
     lease_s:
-        Lease term.  Workers heartbeat at a third of this; a job whose
+        Initial lease term — used until the first job completes, after
+        which the term adapts to observed job wall-clock (see
+        :class:`LeaseClock` and ``lease_floor_s``/``lease_margin``).
+        Workers heartbeat at a third of each grant's term; a job whose
         lease lapses is requeued even if the TCP connection looks open
         (half-open links, hung workers).
+    lease_floor_s / lease_margin / lease_cap_s:
+        Adaptive-term shape: the term never drops below the floor,
+        grants ``lease_margin`` times the job-wall-clock EWMA, and
+        never exceeds the cap.
     max_retries:
         Extra grants a job may receive after its first attempt is lost
         before the sweep fails.
@@ -189,12 +272,21 @@ class DistributedBackend(ExecutionBackend):
         lease_s: float = 15.0,
         max_retries: int = 2,
         log: Optional[LogFn] = None,
+        lease_floor_s: float = 2.0,
+        lease_margin: float = 4.0,
+        lease_cap_s: float = 300.0,
     ):
         if lease_s <= 0:
             raise BackendError(f"lease_s must be positive, got {lease_s}")
         if max_retries < 0:
             raise BackendError(f"max_retries must be >= 0, got {max_retries}")
         self.lease_s = lease_s
+        self.clock = LeaseClock(
+            initial_s=lease_s,
+            floor_s=min(lease_floor_s, lease_s),
+            margin=lease_margin,
+            cap_s=max(lease_cap_s, lease_s),
+        )
         self.max_retries = max_retries
         self.log = log
         self._listener: Optional[socket.socket] = socket.socket(
@@ -232,11 +324,14 @@ class DistributedBackend(ExecutionBackend):
             except OSError:
                 pass
 
-    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+    def run(
+        self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
+    ) -> Iterator[SweepOutcome]:
         if self._listener is None:
             raise BackendError("distributed backend already closed (single-use)")
         jobs = list(jobs)
-        state = _State(jobs, self.lease_s, self.max_retries, self.log)
+        state = _State(jobs, self.clock, self.max_retries, self.log,
+                       on_start=on_start)
         accept = threading.Thread(
             target=self._accept_loop, args=(state,), daemon=True,
             name="repro-coordinator-accept",

@@ -9,10 +9,10 @@ the engine's former inline loop so every strategy satisfies one
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.errors import BackendError
-from repro.backends.base import ExecutionBackend
+from repro.backends.base import ExecutionBackend, StartFn
 from repro.sweep.spec import Job
 from repro.sweep.store import SweepOutcome
 
@@ -26,10 +26,14 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+    def run(
+        self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
+    ) -> Iterator[SweepOutcome]:
         from repro.sweep.engine import run_job
 
         for job in jobs:
+            if on_start is not None:
+                on_start(job)
             yield run_job(job)
 
 
@@ -38,6 +42,8 @@ class ProcessBackend(ExecutionBackend):
 
     Outcomes are yielded as workers finish them, so incremental store
     persistence and progress reporting see completions immediately.
+    ``on_start`` fires at pool submission — the closest observable
+    moment to the actual start in another process.
     """
 
     name = "process"
@@ -47,13 +53,19 @@ class ProcessBackend(ExecutionBackend):
             raise BackendError(f"process backend needs workers >= 1, got {workers}")
         self.workers = workers
 
-    def run(self, jobs: Sequence[Job]) -> Iterator[SweepOutcome]:
+    def run(
+        self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
+    ) -> Iterator[SweepOutcome]:
         from repro.sweep.engine import run_job
 
         if not jobs:
             return
         with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
-            remaining = {pool.submit(run_job, job) for job in jobs}
+            remaining = set()
+            for job in jobs:
+                if on_start is not None:
+                    on_start(job)
+                remaining.add(pool.submit(run_job, job))
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:

@@ -157,7 +157,6 @@ def _serve_session(
                 f"{(welcome or {}).get('error', 'connection closed')}"
             )
         lease_s = float(welcome.get("lease_s", 15.0))
-        heartbeat_s = max(lease_s / 3.0, 0.2)
         say(f"worker: connected to {host}:{port} (lease {lease_s:g}s)")
 
         while max_jobs is None or completed < max_jobs:
@@ -182,6 +181,11 @@ def _serve_session(
             if os.environ.get(CRASH_ENV_VAR):
                 os._exit(17)  # fault injection: die holding the lease
 
+            # The lease term is per-grant (the coordinator adapts it to
+            # observed job length); heartbeat at a third of *this*
+            # grant's term so a shrunken lease is still kept alive.
+            grant_lease_s = float(reply.get("lease_s", lease_s))
+            heartbeat_s = max(grant_lease_s / 3.0, 0.2)
             stop = threading.Event()
             heartbeat = threading.Thread(
                 target=_heartbeat_loop,

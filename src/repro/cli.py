@@ -28,8 +28,6 @@ loc-gen`` emits a standalone LOC analyzer script for a formula.
 from __future__ import annotations
 
 import argparse
-import contextlib
-import os
 import sys
 from typing import List, Optional
 
@@ -315,9 +313,10 @@ def _make_backend(args):
     """Build the backend the sweep/study commands were asked for.
 
     Returns ``None`` when no explicit ``--backend`` was given, letting
-    :func:`~repro.sweep.engine.run_sweep` consult the environment and
-    its serial/process default.  A distributed coordinator announces
-    its bound address up front so workers can be pointed at it.
+    the session's :class:`~repro.api.policy.ExecutionPolicy` consult
+    the environment and its serial/process default.  A distributed
+    coordinator announces its bound address up front so workers can be
+    pointed at it.
     """
     if args.backend is None:
         return None
@@ -348,29 +347,21 @@ def _make_backend(args):
     return backend
 
 
-@contextlib.contextmanager
-def _sweep_workers(workers: Optional[int]):
-    """Scope a ``--workers`` override to one command invocation.
+def _run_session(args, backend=None) -> "Session":
+    """The :class:`~repro.api.session.Session` one command runs under.
 
-    Experiments pick their worker count up from ``REPRO_SWEEP_WORKERS``
-    so every figure parallelizes without per-runner plumbing; restoring
-    the variable afterwards keeps repeated in-process ``main()`` calls
-    (tests, notebooks) from inheriting a stale override.
+    Policy fields come straight from the parsed flags; anything the
+    user did not pass stays ``None`` and defers to the ``REPRO_SWEEP_*``
+    environment variables, exactly as the pre-session CLI behaved.
     """
-    from repro.sweep.engine import WORKERS_ENV_VAR
+    from repro.api import ExecutionPolicy, Session, StorePolicy
 
-    if workers is None:
-        yield
-        return
-    previous = os.environ.get(WORKERS_ENV_VAR)
-    os.environ[WORKERS_ENV_VAR] = str(max(1, workers))
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop(WORKERS_ENV_VAR, None)
-        else:
-            os.environ[WORKERS_ENV_VAR] = previous
+    return Session(
+        execution=ExecutionPolicy(
+            backend=backend, workers=getattr(args, "workers", None)
+        ),
+        store=StorePolicy(path=getattr(args, "store", None)),
+    )
 
 
 def _cmd_list() -> int:
@@ -381,15 +372,22 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.api import ExecutionPolicy, Session
+
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    # max(1, ...) keeps the historical tolerance for ``--workers 0``.
+    session = Session(
+        execution=ExecutionPolicy(
+            workers=None if args.workers is None else max(1, args.workers)
+        )
+    )
     chunks = []
-    with _sweep_workers(args.workers):
-        for experiment_id in ids:
-            result = get_experiment(experiment_id).run(profile=args.profile)
-            if args.json:
-                chunks.append(result.to_json())
-            else:
-                chunks.append(f"## {experiment_id}\n\n{result.text}")
+    for experiment_id in ids:
+        result = session.experiment(experiment_id, profile=args.profile)
+        if args.json:
+            chunks.append(result.to_json())
+        else:
+            chunks.append(f"## {experiment_id}\n\n{result.text}")
     if args.json:
         output = "[\n" + ",\n".join(chunks) + "\n]\n" if len(chunks) > 1 else chunks[0] + "\n"
     else:
@@ -500,13 +498,8 @@ def _cmd_sweep(args) -> int:
         cycles_for,
         span_for,
     )
-    from repro.sweep import (
-        ResultStore,
-        SweepSpec,
-        progress_printer,
-        run_sweep,
-        summarize,
-    )
+    from repro.api import EventHooks
+    from repro.sweep import SweepSpec, progress_printer, summarize
 
     spec = SweepSpec(
         benchmarks=tuple(args.benchmark or ("ipfwdr",)),
@@ -519,7 +512,6 @@ def _cmd_sweep(args) -> int:
         span=span_for(args.profile) if args.distributions else None,
     )
     jobs = spec.jobs()
-    store = ResultStore(args.store) if args.store else None
     workers = args.workers
     print(
         f"sweep: {len(jobs)} jobs, "
@@ -527,12 +519,10 @@ def _cmd_sweep(args) -> int:
         f"workers={workers if workers is not None else 'auto'}, "
         f"store={args.store or 'none'}"
     )
-    outcomes = run_sweep(
+    session = _run_session(args, backend=_make_backend(args))
+    outcomes = session.sweep(
         jobs,
-        workers=workers,
-        store=store,
-        progress=None if args.quiet else progress_printer(),
-        backend=_make_backend(args),
+        hooks=EventHooks(progress=None if args.quiet else progress_printer()),
     )
     print(summarize(outcomes))
     return 0
@@ -550,15 +540,16 @@ def _split_csv(values: Optional[List[str]]) -> List[str]:
 
 
 def _cmd_study(args) -> int:
+    from repro.api import EventHooks
     from repro.experiments.common import cycles_for, span_for
-    from repro.studies import StudySpec, run_study
+    from repro.studies import StudySpec
     from repro.studies.report import (
         render_json,
         render_markdown,
         render_pareto_text,
         render_text,
     )
-    from repro.sweep import ResultStore, progress_printer
+    from repro.sweep import progress_printer
 
     scenarios = [s for s in _split_csv(args.scenario) if s != "all"]
     policies = _split_csv(args.policy) or ["tdvs", "edvs"]
@@ -580,7 +571,6 @@ def _cmd_study(args) -> int:
         **overrides,
     )
     spec.validate()
-    store = ResultStore(args.store) if args.store else None
     jobs_by_scenario = spec.jobs_by_scenario()
     total_jobs = sum(len(jobs) for _, jobs in jobs_by_scenario)
     print(
@@ -590,13 +580,12 @@ def _cmd_study(args) -> int:
         f"workers={args.workers if args.workers is not None else 'auto'}, "
         f"store={args.store or 'none'}"
     )
-    result = run_study(
+    session = _run_session(args, backend=_make_backend(args))
+    result = session.study(
         spec,
-        workers=args.workers,
-        store=store,
-        progress=None if args.quiet else progress_printer(),
         jobs_by_scenario=jobs_by_scenario,
-        backend=_make_backend(args),
+        hooks=EventHooks(progress=None if args.quiet else progress_printer()),
+        on_scenario_complete=None if args.quiet else _study_live_line,
     )
     if args.json:
         report = render_json(result.policy_map)
@@ -614,6 +603,34 @@ def _cmd_study(args) -> int:
     else:
         print(report, end="")
     return 0
+
+
+def _study_live_line(verdict) -> None:
+    """One stderr line the moment a scenario's grid drains.
+
+    This is the streaming payoff of the session API: LOC-gated winners
+    print as each scenario completes, not after the whole study lands.
+    """
+    winner = verdict.winner
+    if winner is None:
+        line = (
+            f"study: {verdict.scenario}: no gated winner "
+            f"({verdict.candidates_passing}/{len(verdict.candidates)} passed)"
+        )
+    else:
+        knobs = []
+        if winner.threshold_mbps is not None:
+            knobs.append(f"thr={winner.threshold_mbps:g}")
+        if winner.window_cycles is not None:
+            knobs.append(f"win={winner.window_cycles}")
+        saving = verdict.power_saving_fraction
+        line = (
+            f"study: {verdict.scenario}: winner {winner.policy}"
+            f"{' (' + ', '.join(knobs) + ')' if knobs else ''}"
+            f" {winner.power_w:.3f} W"
+            + (f" (-{saving * 100:.1f}%)" if saving is not None else "")
+        )
+    print(line, file=sys.stderr)
 
 
 def _cmd_worker(args) -> int:

@@ -1,8 +1,8 @@
 """Shared experiment machinery: profiles, instrumented runs, caching.
 
-Every simulation-backed experiment goes through the sweep engine
-(:mod:`repro.sweep`): figures build :class:`~repro.sweep.spec.Job`
-lists and hand them to :func:`~repro.sweep.engine.run_sweep`, which
+Every simulation-backed experiment goes through the session API
+(:mod:`repro.api`): figures build :class:`~repro.sweep.spec.Job`
+lists and hand them to :meth:`~repro.api.session.Session.sweep`, which
 fans them out over worker processes when parallelism is available
 (``--workers`` on the CLI, or the ``REPRO_SWEEP_WORKERS`` environment
 variable) and falls back to the in-process serial path otherwise.
@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api import ExecutionPolicy, Session
 from repro.config import DvsConfig, RunConfig, TrafficConfig
 from repro.errors import ExperimentError
 from repro.loc.analyzer import DistributionResult
 from repro.runner import RunResult
-from repro.sweep.engine import run_job, run_sweep
+from repro.sweep.engine import run_job
 from repro.sweep.spec import Job
 from repro.sweep.store import SweepOutcome
 
@@ -177,7 +178,7 @@ def tdvs_design_space(
     """The shared Figures 6-9 grid: 4 thresholds x 4 windows + noDVS.
 
     Benchmark `ipfwdr` at the high traffic sample, as in Section 4.1.
-    The 17 runs go through the sweep engine, so ``workers > 1``
+    The 17 runs go through the session API, so ``workers > 1``
     regenerates the grid in parallel with identical results.
     """
     cached = _TDVS_CACHE.get(profile)
@@ -194,7 +195,8 @@ def tdvs_design_space(
             )
             keys.append((threshold, window))
             jobs.append(instrumented_job(profile, level="high", dvs=dvs))
-    outcomes = run_sweep(jobs, workers=workers)
+    session = Session(execution=ExecutionPolicy(workers=workers))
+    outcomes = session.sweep(jobs)
     grid = {
         key: as_instrumented(outcome) for key, outcome in zip(keys, outcomes)
     }

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     instrumented_job,
 )
 from repro.experiments.registry import ExperimentResult, register
-from repro.sweep.engine import run_sweep
+from repro.api import default_session
 
 
 @register("fig10", "EDVS power and throughput distributions", "Figure 10")
@@ -32,7 +32,7 @@ def run(profile: str) -> ExperimentResult:
             idle_threshold=EDVS_IDLE_THRESHOLD,
         )
         jobs.append(instrumented_job(profile, level="high", dvs=dvs))
-    outcomes = run_sweep(jobs)
+    outcomes = default_session().sweep(jobs)
     baseline = as_instrumented(outcomes[0])
     runs = {
         window: as_instrumented(outcome)

@@ -18,7 +18,7 @@ from repro.analysis.compare import PolicyComparison, PolicyOutcome
 from repro.config import DvsConfig
 from repro.experiments.common import as_instrumented, instrumented_job
 from repro.experiments.registry import ExperimentResult, register
-from repro.sweep.engine import run_sweep
+from repro.api import default_session
 
 BENCHMARKS = ("ipfwdr", "url", "nat", "md4")
 LEVELS = ("low", "med", "high")
@@ -47,7 +47,7 @@ def build_comparison(profile: str) -> PolicyComparison:
         instrumented_job(profile, benchmark=benchmark, level=level, dvs=dvs)
         for benchmark, level, _policy, dvs in cells
     ]
-    outcomes = run_sweep(jobs)
+    outcomes = default_session().sweep(jobs)
     comparison = PolicyComparison(BENCHMARKS, LEVELS)
     for (benchmark, level, policy, _dvs), outcome in zip(cells, outcomes):
         run_data = as_instrumented(outcome)

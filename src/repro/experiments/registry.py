@@ -86,8 +86,15 @@ class Experiment:
     paper_ref: str
     runner: Callable[[str], ExperimentResult]
 
-    def run(self, profile: str = "quick") -> ExperimentResult:
-        """Execute with the named profile (``quick`` or ``paper``)."""
+    def run(self, profile: str = "quick", session=None) -> ExperimentResult:
+        """Execute with the named profile (``quick`` or ``paper``).
+
+        ``session`` (a :class:`repro.api.Session`) scopes the run to
+        that session's execution policy — the grids inside the runner
+        then fan out per the policy's backend/worker settings.
+        """
+        if session is not None:
+            return session.experiment(self.experiment_id, profile=profile)
         return self.runner(profile)
 
 
@@ -131,6 +138,8 @@ def get_experiment(experiment_id: str) -> Experiment:
         ) from None
 
 
-def run_experiment(experiment_id: str, profile: str = "quick") -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).run(profile)
+def run_experiment(
+    experiment_id: str, profile: str = "quick", session=None
+) -> ExperimentResult:
+    """Run one experiment by id (optionally under a session's policy)."""
+    return get_experiment(experiment_id).run(profile, session=session)

@@ -31,6 +31,20 @@ from repro.traffic.sampler import SegmentSpec, TrafficSampler
 from repro.traffic.sizes import SIZE_MIXES
 
 
+#: Shared diurnal sampler for named-level load resolution.  The sampler
+#: is pure (percentile lookups over the fixed day profile), so one
+#: instance serves every run — building it per call burned a day-curve
+#: construction on each of a sweep's thousands of job setups.
+_DIURNAL_SAMPLER: Optional[TrafficSampler] = None
+
+
+def _diurnal_sampler() -> TrafficSampler:
+    global _DIURNAL_SAMPLER
+    if _DIURNAL_SAMPLER is None:
+        _DIURNAL_SAMPLER = TrafficSampler(DiurnalModel())
+    return _DIURNAL_SAMPLER
+
+
 def resolve_offered_load_bps(config: RunConfig) -> float:
     """Offered load in bits/second from a run's traffic config.
 
@@ -43,8 +57,7 @@ def resolve_offered_load_bps(config: RunConfig) -> float:
         return traffic.offered_load_mbps * 1e6
     if traffic.scenario is not None:
         return get_scenario(traffic.scenario).mean_load_mbps * 1e6
-    sampler = TrafficSampler(DiurnalModel())
-    return sampler.level_load_bps(traffic.level)
+    return _diurnal_sampler().level_load_bps(traffic.level)
 
 
 @dataclass

@@ -22,14 +22,20 @@ sweep engine (:mod:`repro.sweep`) and the LOC checker
 
 Quickstart::
 
-    from repro.studies import StudySpec, run_study
+    from repro.api import ExecutionPolicy, Session
+    from repro.studies import StudySpec
     from repro.studies.report import render_text
 
     spec = StudySpec(scenarios=("flash_crowd",), policies=("tdvs", "edvs"))
-    result = run_study(spec, workers=4)
+    session = Session(execution=ExecutionPolicy(workers=4))
+    result = session.study(
+        spec,
+        on_scenario_complete=lambda v: print(v.scenario, "done"),
+    )
     print(render_text(result.policy_map))
 
-``repro study`` on the CLI wraps exactly this.
+``repro study`` on the CLI wraps exactly this (the legacy
+:func:`run_study` remains as a bit-identical deprecation shim).
 """
 
 from repro.studies.engine import StudyResult, run_study

@@ -1,24 +1,31 @@
 """The study runner: one sweep, one reduction, one map.
 
-:func:`run_study` expands a :class:`~repro.studies.spec.StudySpec` into
-jobs for every scenario, executes them through a *single*
-:func:`~repro.sweep.engine.run_sweep` call (so worker processes drain
-the whole study, not one scenario at a time), and reduces the outcomes
-into a :class:`~repro.studies.policymap.PolicyMap`.  Results are
-bit-identical for any worker count — every job carries its own seed and
-the reduction is deterministic in job order — and a
+A study expands a :class:`~repro.studies.spec.StudySpec` into jobs for
+every scenario, executes them through a *single* streamed sweep (so
+worker processes drain the whole study, not one scenario at a time),
+and reduces the outcomes into a
+:class:`~repro.studies.policymap.PolicyMap`.  Results are bit-identical
+for any worker count — every job carries its own seed and the
+reduction is deterministic in job order — and a
 :class:`~repro.sweep.store.ResultStore` makes interrupted studies
 resumable cell by cell.
+
+The implementation lives on :meth:`repro.api.Session.study`, which
+additionally streams per-scenario verdicts as each scenario's grid
+drains (``on_scenario_complete``); :func:`run_study` here is the legacy
+entry point, kept as a thin deprecation shim with bit-identical
+results.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.studies.policymap import PolicyMap
 from repro.studies.spec import StudySpec
-from repro.sweep.engine import ProgressFn, run_sweep
+from repro.sweep.engine import ProgressFn
 from repro.sweep.spec import Job
 from repro.sweep.store import ResultStore, SweepOutcome
 
@@ -59,37 +66,34 @@ def run_study(
 ) -> StudyResult:
     """Run a study and reduce it to its policy map.
 
-    Parameters mirror :func:`~repro.sweep.engine.run_sweep`; the job
-    list is the concatenation of every scenario's grid, deduplicated
-    nothing — scenario-distinct configs never collide.
+    .. deprecated::
+        This is a compatibility shim over
+        :meth:`repro.api.Session.study`; hold a
+        :class:`~repro.api.session.Session` instead — it also streams
+        per-scenario verdicts as each grid drains.  Results are
+        bit-identical either way.
+
+    Parameters mirror the legacy :func:`~repro.sweep.engine.run_sweep`;
+    the job list is the concatenation of every scenario's grid,
+    deduplicated nothing — scenario-distinct configs never collide.
     ``jobs_by_scenario`` accepts a precomputed
     :meth:`StudySpec.jobs_by_scenario` expansion so callers that
     already expanded the grid (the CLI prints the job count up front)
     do not pay for a second expansion.  ``backend`` selects the
     execution backend (name token or instance, see
-    :mod:`repro.backends`); a whole study is one ``run_sweep`` call, so
-    a distributed worker fleet drains it end to end.
+    :mod:`repro.backends`); a whole study is one streamed sweep, so a
+    distributed worker fleet drains it end to end.
     """
-    per_scenario = (
-        list(jobs_by_scenario)
-        if jobs_by_scenario is not None
-        else spec.jobs_by_scenario()
+    warnings.warn(
+        "run_study() is deprecated; use repro.api.Session.study()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    flat_jobs = [job for _, jobs in per_scenario for job in jobs]
-    flat_outcomes = run_sweep(
-        flat_jobs, workers=workers, store=store, progress=progress, backend=backend
-    )
+    from repro.api import EventHooks, ExecutionPolicy, Session, StorePolicy
 
-    outcomes_by_scenario: List[Tuple[str, List[SweepOutcome]]] = []
-    cursor = 0
-    for scenario_name, jobs in per_scenario:
-        chunk = flat_outcomes[cursor : cursor + len(jobs)]
-        cursor += len(jobs)
-        outcomes_by_scenario.append((scenario_name, list(chunk)))
-
-    policy_map = PolicyMap.build(spec, outcomes_by_scenario)
-    return StudyResult(
-        spec=spec,
-        policy_map=policy_map,
-        outcomes_by_scenario=outcomes_by_scenario,
+    session = Session(
+        execution=ExecutionPolicy(backend=backend, workers=workers),
+        store=StorePolicy(store=store),
+        hooks=EventHooks(progress=progress),
     )
+    return session.study(spec, jobs_by_scenario=jobs_by_scenario)

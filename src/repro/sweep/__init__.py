@@ -2,16 +2,17 @@
 
 * :mod:`~repro.sweep.spec` — :class:`SweepSpec` grids and picklable
   :class:`Job` units keyed by config hash;
-* :mod:`~repro.sweep.engine` — :func:`run_sweep`: execution over the
-  pluggable backends of :mod:`repro.backends` (in-process serial, a
-  local process pool, or a multi-machine coordinator/worker queue)
-  with deterministic, order-independent results;
+* :mod:`~repro.sweep.engine` — :func:`run_job`, the shared in-process
+  execution path, plus the legacy :func:`run_sweep` shim (execution
+  now lives on :class:`repro.api.Session`, over the pluggable backends
+  of :mod:`repro.backends`);
 * :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL result
   log that doubles as the resume/skip cache.
 
 Quickstart::
 
-    from repro.sweep import SweepSpec, ResultStore, run_sweep
+    from repro.api import ExecutionPolicy, Session, StorePolicy
+    from repro.sweep import SweepSpec
 
     spec = SweepSpec(
         policies=("tdvs",),
@@ -20,7 +21,11 @@ Quickstart::
         traffic=("level:high", "scenario:flash_crowd"),
         duration_cycles=400_000,
     )
-    outcomes = run_sweep(spec, workers=4, store=ResultStore("sweep.jsonl"))
+    session = Session(execution=ExecutionPolicy(workers=4),
+                      store=StorePolicy(path="sweep.jsonl"))
+    outcomes = session.sweep(spec)           # job order
+    for outcome in session.stream(spec):     # completion order
+        ...
 """
 
 from repro.sweep.engine import (

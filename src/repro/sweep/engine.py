@@ -1,15 +1,18 @@
-"""The sweep runner over pluggable execution backends.
+"""The sweep runner: :func:`run_job` plus the legacy ``run_sweep`` shim.
 
-:func:`run_sweep` takes a list of :class:`~repro.sweep.spec.Job` objects
-(or a :class:`~repro.sweep.spec.SweepSpec`) and executes the pending
-ones through an :class:`~repro.backends.base.ExecutionBackend` —
-in-process (``serial``), a local process pool (``process``), or a
-multi-machine coordinator/worker queue (``distributed``, see
-:mod:`repro.backends`).  Every job is self-contained (config dict +
-seed), so results are bit-identical regardless of backend, worker count
-or completion order; the returned outcomes always follow the submitted
-job order, and duplicate job ids in the list execute once with the
-outcome fanned out to every index.
+:func:`run_job` is the single in-process execution path every backend
+shares — the serial loop, the process-pool workers and the distributed
+``repro worker`` processes all call it, which is what makes results
+bit-identical regardless of where a job lands.
+
+:func:`run_sweep` is the pre-session entry point, kept as a thin
+deprecation shim over :class:`repro.api.Session`: its kwargs become a
+one-call :class:`~repro.api.policy.ExecutionPolicy` /
+:class:`~repro.api.policy.StorePolicy`, and its results — ordering,
+caching, duplicate fan-out, environment-variable behaviour — are
+bit-identical to the historical engine.  New code should hold a
+:class:`~repro.api.session.Session` and call ``session.sweep`` /
+``session.stream`` instead.
 
 A :class:`~repro.sweep.store.ResultStore` makes sweeps resumable:
 completed job ids are skipped and their stored outcomes returned
@@ -23,9 +26,10 @@ from __future__ import annotations
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Union
+import warnings
+from typing import Callable, List, Optional, Sequence, Union
 
-from repro.errors import BackendError, ExperimentError
+from repro.errors import ExperimentError
 from repro.loc.analyzer import DistributionAnalyzer
 from repro.loc.builtin import (
     power_distribution_formula,
@@ -91,23 +95,6 @@ def run_job(job: Job) -> SweepOutcome:
     )
 
 
-def _resolve_backend(backend, workers: int, n_pending: int):
-    """Pick the backend for one sweep (see :mod:`repro.backends`).
-
-    Explicit instances and name tokens pass straight to the factory.
-    The default preserves the engine's classic behaviour exactly: a
-    single pending job (or ``workers=1``) runs serially in-process —
-    no executor spin-up for work that cannot fan out — unless
-    ``REPRO_SWEEP_BACKEND`` overrides the choice.
-    """
-    from repro.backends import BACKEND_ENV_VAR, get_backend
-
-    if backend is None and not os.environ.get(BACKEND_ENV_VAR, "").strip():
-        effective = workers if n_pending > 1 else 1
-        return get_backend(None, workers=effective)
-    return get_backend(backend, workers=workers)
-
-
 def run_sweep(
     jobs: Union[SweepSpec, Sequence[Job]],
     workers: Optional[int] = None,
@@ -116,6 +103,13 @@ def run_sweep(
     backend=None,
 ) -> List[SweepOutcome]:
     """Run a sweep and return outcomes in job order.
+
+    .. deprecated::
+        This is a compatibility shim over :class:`repro.api.Session`;
+        hold a session (``Session(execution=ExecutionPolicy(...))``)
+        and call :meth:`~repro.api.session.Session.sweep` — or
+        :meth:`~repro.api.session.Session.stream` for completion-order
+        results — instead.  Results are bit-identical either way.
 
     Parameters
     ----------
@@ -140,68 +134,20 @@ def run_sweep(
         ``None`` to consult ``REPRO_SWEEP_BACKEND`` and fall back to
         the classic serial/process-pool choice.
     """
-    if isinstance(jobs, SweepSpec):
-        jobs = jobs.jobs()
-    jobs = list(jobs)
-    if workers is None:
-        workers = default_workers()
-    if workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    warnings.warn(
+        "run_sweep() is deprecated; use repro.api.Session.sweep() "
+        "(or Session.stream() for completion-order results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import EventHooks, ExecutionPolicy, Session, StorePolicy
 
-    total = len(jobs)
-    done = 0
-    outcomes: List[Optional[SweepOutcome]] = [None] * total
-
-    # Group indices by job id so repeats execute exactly once.
-    indices_by_id: Dict[str, List[int]] = {}
-    first_jobs: List[Job] = []
-    for index, job in enumerate(jobs):
-        slots = indices_by_id.setdefault(job.job_id, [])
-        if not slots:
-            first_jobs.append(job)
-        slots.append(index)
-
-    def deliver(outcome: SweepOutcome) -> None:
-        nonlocal done
-        for index in indices_by_id[outcome.job_id]:
-            outcomes[index] = outcome
-            done += 1
-            if progress is not None:
-                progress(done, total, outcome)
-
-    pending_jobs: List[Job] = []
-    for job in first_jobs:
-        cached = store.get(job.job_id) if store is not None else None
-        if cached is not None:
-            deliver(cached)
-        else:
-            pending_jobs.append(job)
-
-    if pending_jobs:
-        open_ids = {job.job_id for job in pending_jobs}
-        resolved = _resolve_backend(backend, workers, len(pending_jobs))
-        try:
-            for outcome in resolved.run(pending_jobs):
-                if outcome.job_id not in open_ids:
-                    raise BackendError(
-                        f"backend {resolved.name!r} yielded unknown or "
-                        f"duplicate job id {outcome.job_id!r}"
-                    )
-                open_ids.discard(outcome.job_id)
-                if store is not None:
-                    store.add(outcome)
-                deliver(outcome)
-        finally:
-            resolved.close()
-        if open_ids:
-            raise BackendError(
-                f"backend {resolved.name!r} finished without yielding "
-                f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
-            )
-    elif backend is not None and hasattr(backend, "close"):
-        backend.close()  # single-use even when everything was cached
-    assert all(outcome is not None for outcome in outcomes)
-    return outcomes  # type: ignore[return-value]
+    session = Session(
+        execution=ExecutionPolicy(backend=backend, workers=workers),
+        store=StorePolicy(store=store),
+        hooks=EventHooks(progress=progress),
+    )
+    return session.sweep(jobs)
 
 
 def summarize(outcomes: Sequence[SweepOutcome]) -> str:

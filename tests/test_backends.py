@@ -21,6 +21,7 @@ from repro.backends import (
     BACKEND_ENV_VAR,
     CONNECT_ENV_VAR,
     DistributedBackend,
+    LeaseClock,
     ProcessBackend,
     SerialBackend,
     get_backend,
@@ -166,8 +167,103 @@ class TestLocalBackends:
             ProcessBackend(workers=0)
 
 
+class TestLeaseClock:
+    def test_initial_term_until_first_observation(self):
+        clock = LeaseClock(initial_s=15.0)
+        assert clock.term_s == 15.0
+        clock.observe(1.0)
+        assert clock.term_s != 15.0
+
+    def test_fast_jobs_shrink_term_to_floor(self):
+        clock = LeaseClock(initial_s=15.0, floor_s=2.0, margin=4.0)
+        for _ in range(20):
+            clock.observe(0.05)
+        assert clock.term_s == 2.0  # margin * ewma (0.2s) < floor
+
+    def test_slow_jobs_grow_term_beyond_initial(self):
+        clock = LeaseClock(initial_s=15.0, floor_s=2.0, margin=4.0)
+        for _ in range(20):
+            clock.observe(10.0)
+        assert clock.term_s == pytest.approx(40.0)
+
+    def test_cap_bounds_the_term(self):
+        clock = LeaseClock(initial_s=15.0, cap_s=60.0)
+        for _ in range(20):
+            clock.observe(1000.0)
+        assert clock.term_s == 60.0
+
+    def test_ewma_tracks_recent_jobs(self):
+        clock = LeaseClock(initial_s=15.0, alpha=0.5)
+        clock.observe(10.0)
+        clock.observe(2.0)
+        assert clock.ewma_s == pytest.approx(6.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(BackendError):
+            LeaseClock(initial_s=0.0)
+        with pytest.raises(BackendError):
+            LeaseClock(initial_s=1.0, alpha=0.0)
+        with pytest.raises(BackendError):
+            LeaseClock(initial_s=1.0, floor_s=10.0, cap_s=5.0)
+        with pytest.raises(BackendError):
+            LeaseClock(initial_s=1.0, margin=0.0)
+
+    def test_backend_clamps_floor_below_initial_term(self):
+        # A lease_s below the default floor must not self-expire.
+        backend = DistributedBackend(port=0, lease_s=1.0)
+        try:
+            assert backend.clock.floor_s <= 1.0
+            assert backend.clock.term_s == 1.0
+        finally:
+            backend.close()
+
+
 @pytest.mark.slow
 class TestDistributedBackend:
+    def test_adaptive_lease_term_follows_observed_wall_clock(self):
+        """After a sweep of short jobs the clock has observations and
+        the next grant's term has adapted below the initial lease."""
+        jobs = small_spec().jobs()
+        serial = run_sweep(jobs, workers=1)
+        backend = DistributedBackend(port=0, lease_s=30.0)
+        start_worker(backend.address)
+        distributed = run_sweep(jobs, backend=backend)
+        assert_identical(serial, distributed)
+        clock = backend.clock
+        assert clock.ewma_s is not None
+        assert clock.term_s < 30.0
+        assert clock.term_s >= clock.floor_s
+
+    def test_grant_carries_adapted_lease_term(self):
+        """The per-grant lease_s in the wire message reflects the
+        adapted term, and the worker heartbeats against it."""
+        jobs = small_spec().jobs()  # 2 jobs
+        backend = DistributedBackend(port=0, lease_s=30.0)
+        backend.clock.observe(0.5)  # pretend a fast job already ran
+        expected = backend.clock.term_s
+        assert expected != 30.0
+        result = {}
+        sweep = threading.Thread(
+            target=lambda: result.update(outcomes=run_sweep(jobs, backend=backend)),
+            daemon=True,
+        )
+        sweep.start()
+        client = socket.create_connection((backend.host, backend.port), timeout=10)
+        send_message(client, {"type": "hello", "protocol": PROTOCOL_VERSION})
+        welcome = recv_message(client)
+        assert welcome["type"] == "welcome"
+        assert welcome["lease_s"] == 30.0  # the initial term
+        send_message(client, {"type": "pull"})
+        grant = recv_message(client)
+        assert grant["type"] == "job"
+        assert grant["lease_s"] == pytest.approx(expected)
+        client.close()  # drop the lease; a real worker drains the sweep
+        survivor = start_worker(backend.address)
+        sweep.join(timeout=180)
+        assert not sweep.is_alive()
+        survivor.join(timeout=30)
+        assert len(result["outcomes"]) == len(jobs)
+
     def test_two_loopback_workers_bit_identical_to_serial(self):
         jobs = small_spec().jobs()
         serial = run_sweep(jobs, workers=1)
