@@ -1,0 +1,65 @@
+"""Bench for the observation path: events/sec through the LOC checkers.
+
+Runs the :mod:`repro.bench` per-run harness over the default scenario
+subset and lands the result in ``BENCH_run.json`` — whole-run
+wall-clock with and without checkers, plus events/sec through the
+checking path for the compiled monitors and the interpretive baseline.
+The assertion is the PR-level acceptance bar: compiled monitors must
+move trace events at least **2x** faster than the interpreted path.
+
+Usable two ways::
+
+    python -m pytest benchmarks/bench_run.py -q     # CI bench lane
+    python benchmarks/bench_run.py                   # standalone
+
+(The CLI equivalent is ``repro bench --out BENCH_run.json``, which
+adds the ``--baseline`` soft regression gate.)
+"""
+
+import os
+import sys
+
+from repro.bench import render_bench_text, run_bench, write_bench_json
+
+#: Machine-readable results artifact (cwd: uploaded by the CI bench lane).
+BENCH_JSON = os.environ.get("REPRO_BENCH_RUN_JSON", "BENCH_run.json")
+
+#: The acceptance bar: compiled checking must at least double the
+#: interpreted path's events/sec.
+MIN_SPEEDUP = 2.0
+
+
+def _bench() -> dict:
+    data = run_bench()
+    write_bench_json(data, BENCH_JSON)
+    return data
+
+
+def test_observation_path_events_per_second(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, _bench)
+    print("\n" + render_bench_text(data))
+    speedup = data["totals"]["speedup_compiled_vs_interpreted"]
+    assert speedup is not None and speedup >= MIN_SPEEDUP, (
+        f"compiled monitors moved events only {speedup}x faster than the "
+        f"interpreted baseline (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def main() -> int:
+    data = _bench()
+    print(render_bench_text(data))
+    print(f"wrote {BENCH_JSON}")
+    speedup = data["totals"]["speedup_compiled_vs_interpreted"]
+    if speedup is None or speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: checking-path speedup {speedup} < {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

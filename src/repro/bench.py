@@ -1,0 +1,405 @@
+"""The per-run observation benchmark: what does checking a trace cost?
+
+The paper's premise is that checker overhead bounds how much design
+space a study can explore — simulation-time (online) checking is only
+worth it if it is cheap.  This harness measures exactly that, per
+catalog scenario, and writes the machine-readable ``BENCH_run.json``
+artifact CI tracks run over run:
+
+* **run wall-clock** — the same configuration simulated three ways:
+  unobserved (no subscribers: the bus binds no-op emitters), with the
+  interpretive checking path (``REPRO_LOC_MONITOR=interpreted``
+  semantics: wildcard sinks, per-event :class:`TraceEvent` allocation,
+  AST-walking evaluator) and with compiled monitors (the default:
+  tuple rows on the :class:`~repro.trace.bus.TraceBus`, ring-buffer
+  closures);
+* **checking-path throughput** — the scenario's captured trace replayed
+  through both checking paths at volume, yielding events/sec through
+  the observation layer alone.  This is the headline number: the
+  simulation itself is identical across modes, so the replay isolates
+  what one observed event costs;
+* **equivalence** — every benchmarked run asserts that compiled and
+  interpreted monitors produced identical check results and
+  distributions, so the artifact doubles as a correctness regression
+  guard.
+
+Monitors under test are the real workload: the paper's power and
+throughput distribution formulas plus the study engine's derived LOC
+gates for the scenario.
+
+Entry points: :func:`run_bench` (library),
+:meth:`repro.api.Session.bench_run` (session facade) and ``repro
+bench`` on the CLI (which also applies the soft regression gate via
+:func:`compare_bench`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DvsConfig, RunConfig, TrafficConfig
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    cycles_for,
+    span_for,
+)
+from repro.loc.analyzer import DistributionAnalyzer
+from repro.loc.builtin import (
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+from repro.loc.checker import build_checker
+from repro.loc.monitor import build_monitor
+from repro.runner import SimulationRun
+from repro.scenarios import get_scenario, list_scenarios
+from repro.studies.spec import StudySpec
+from repro.trace.buffer import TraceBuffer
+from repro.trace.events import TraceEvent
+
+#: Default scenario subset: one surge, one attack, one steady-saturation
+#: workload — diverse shapes without paying for the whole catalog.
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    "flash_crowd",
+    "ddos_min64",
+    "saturation_stress",
+)
+
+#: Observation modes benchmarked per scenario, in artifact order.
+MODES: Tuple[str, ...] = ("no_checkers", "interpreted", "compiled")
+
+
+def bench_formulas(scenario_name: str, span: int) -> List:
+    """The monitored formulas for one scenario: a real job's load.
+
+    The paper's formulas (2)/(3) distributions plus the study engine's
+    derived LOC gates for the scenario — exactly what a study job
+    attaches.
+    """
+    spec = StudySpec(span=span)
+    gates = [a.formula for a in spec.assertions_for(get_scenario(scenario_name))]
+    return [
+        power_distribution_formula(span=span),
+        throughput_distribution_formula(span=span),
+    ] + gates
+
+
+def bench_config(scenario_name: str, profile: str) -> RunConfig:
+    """The benchmarked configuration for one scenario."""
+    return RunConfig(
+        benchmark="ipfwdr",
+        duration_cycles=cycles_for(profile),
+        seed=EXPERIMENT_SEED,
+        traffic=TrafficConfig.for_scenario(scenario_name),
+        dvs=DvsConfig(policy="tdvs"),
+    )
+
+
+def _timed_run(config: RunConfig, monitors: Sequence = (), sinks: Sequence = ()):
+    """One simulation; returns (wall_s, RunResult)."""
+    run = SimulationRun(config, sinks=sinks, monitors=monitors)
+    start = time.perf_counter()
+    result = run.run()
+    return time.perf_counter() - start, result
+
+
+def _event_count(result) -> int:
+    """Primary trace events a run offers: one ``fifo`` per enqueued
+    packet plus one ``forward`` per transmitted packet (deterministic
+    per config, independent of who observes)."""
+    totals = result.totals
+    enqueued = totals.offered_packets - totals.rx_dropped
+    return totals.forwarded_packets + enqueued
+
+
+def _replay_interpreted(trace, formulas, repeat: int) -> float:
+    """Replay through the legacy path: TraceEvent per event, wildcard sinks."""
+    sinks = [
+        build_checker(f) if isinstance(f, str) else DistributionAnalyzer(f)
+        for f in formulas
+    ]
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for name, row in trace:
+            event = TraceEvent(name, *row)
+            for sink in sinks:
+                sink.emit(event)
+    return time.perf_counter() - start
+
+
+def _replay_compiled(trace, formulas, repeat: int) -> float:
+    """Replay through the bus fast path: per-name tuple handlers."""
+    monitors = [build_monitor(f, mode="compiled") for f in formulas]
+    handlers: Dict[str, List[Callable]] = {}
+    for monitor in monitors:
+        if not monitor.compiled:  # pragma: no cover - bench formulas compile
+            raise ExperimentError(
+                f"bench formula {monitor.formula.unparse()!r} did not compile"
+            )
+        handlers.setdefault(monitor.event, []).append(monitor._feed)
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for name, row in trace:
+            feeds = handlers.get(name)
+            if feeds is not None:
+                for feed in feeds:
+                    feed(row)
+    return time.perf_counter() - start
+
+
+def _results_identical(compiled_monitors, interpreted_monitors) -> bool:
+    """Compare finished results across modes (dict/equality forms)."""
+    for compiled, interpreted in zip(compiled_monitors, interpreted_monitors):
+        a, b = compiled.finish(), interpreted.finish()
+        if hasattr(a, "to_dict"):
+            if a.to_dict() != b.to_dict():
+                return False
+        elif a != b:
+            return False
+    return True
+
+
+def bench_scenario(
+    scenario_name: str,
+    profile: str = "bench",
+    repeats: int = 3,
+    replay_target_events: int = 100_000,
+) -> Dict:
+    """Benchmark one scenario; returns its artifact entry."""
+    config = bench_config(scenario_name, profile)
+    span = span_for(profile)
+    formulas = bench_formulas(scenario_name, span)
+
+    # Capture the trace once (also the interpreted-mode result anchor).
+    buffer = TraceBuffer()
+    capture_monitors = [build_monitor(f, mode="interpreted") for f in formulas]
+    _, capture_result = _timed_run(
+        config, monitors=capture_monitors, sinks=[buffer]
+    )
+    trace = [(e.name, e.as_tuple()[1:]) for e in buffer.events]
+    events = _event_count(capture_result)
+
+    # Whole-run wall clock per observation mode (min over repeats).
+    walls: Dict[str, float] = {}
+    compiled_monitors: List = []
+    for mode in MODES:
+        best = None
+        for _ in range(max(1, repeats)):
+            if mode == "no_checkers":
+                wall, result = _timed_run(config)
+            else:
+                monitors = [
+                    build_monitor(
+                        f,
+                        mode="interpreted" if mode == "interpreted" else "compiled",
+                    )
+                    for f in formulas
+                ]
+                wall, result = _timed_run(config, monitors=monitors)
+                if mode == "compiled":
+                    compiled_monitors = monitors
+            if _event_count(result) != events:
+                raise ExperimentError(
+                    f"{scenario_name}: event count changed under observation "
+                    f"({_event_count(result)} != {events}) — the bus must "
+                    "not perturb the simulation"
+                )
+            best = wall if best is None else min(best, wall)
+        walls[mode] = best
+
+    if not _results_identical(compiled_monitors, capture_monitors):
+        raise ExperimentError(
+            f"{scenario_name}: compiled and interpreted monitors disagree — "
+            "run the differential wall (tests/test_monitors.py)"
+        )
+
+    # Checking-path throughput: replay the captured trace at volume,
+    # best wall-clock over ``repeats`` measurements (replay timings are
+    # short; the minimum is the least noisy estimator).
+    repeat = max(1, -(-replay_target_events // max(1, len(trace))))
+    replayed = len(trace) * repeat
+    interpreted_s = min(
+        _replay_interpreted(trace, formulas, repeat)
+        for _ in range(max(1, repeats))
+    )
+    compiled_s = min(
+        _replay_compiled(trace, formulas, repeat) for _ in range(max(1, repeats))
+    )
+
+    return {
+        "events": events,
+        "trace_events": len(trace),
+        "duration_cycles": config.duration_cycles,
+        "run_wall_s": {mode: round(walls[mode], 4) for mode in MODES},
+        "run_events_per_s": {
+            mode: round(events / walls[mode], 1) if walls[mode] > 0 else None
+            for mode in MODES
+        },
+        "checking": {
+            "replayed_events": replayed,
+            "interpreted": {
+                "wall_s": round(interpreted_s, 4),
+                "events_per_s": round(replayed / interpreted_s, 1)
+                if interpreted_s > 0
+                else None,
+            },
+            "compiled": {
+                "wall_s": round(compiled_s, 4),
+                "events_per_s": round(replayed / compiled_s, 1)
+                if compiled_s > 0
+                else None,
+            },
+            "speedup": round(interpreted_s / compiled_s, 2)
+            if compiled_s > 0
+            else None,
+        },
+        "results_identical": True,
+    }
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    profile: str = "bench",
+    repeats: int = 3,
+    replay_target_events: int = 100_000,
+    progress: Optional[Callable[[str, Dict], None]] = None,
+) -> Dict:
+    """Run the per-run observation benchmark; returns the artifact dict.
+
+    ``scenarios`` defaults to :data:`DEFAULT_SCENARIOS`; pass ``["all"]``
+    for the whole catalog.  ``progress(scenario_name, entry)`` fires as
+    each scenario completes.
+    """
+    names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
+    if names == ["all"]:
+        names = list(list_scenarios())
+    for name in names:
+        get_scenario(name)  # raise early on unknown names
+
+    entries: Dict[str, Dict] = {}
+    for name in names:
+        entry = bench_scenario(
+            name,
+            profile=profile,
+            repeats=repeats,
+            replay_target_events=replay_target_events,
+        )
+        entries[name] = entry
+        if progress is not None:
+            progress(name, entry)
+
+    interp_s = sum(e["checking"]["interpreted"]["wall_s"] for e in entries.values())
+    comp_s = sum(e["checking"]["compiled"]["wall_s"] for e in entries.values())
+    replayed = sum(e["checking"]["replayed_events"] for e in entries.values())
+    run_interp = sum(e["run_wall_s"]["interpreted"] for e in entries.values())
+    run_comp = sum(e["run_wall_s"]["compiled"] for e in entries.values())
+    return {
+        "bench": "run",
+        "profile": profile,
+        "span": span_for(profile),
+        "repeats": repeats,
+        "scenarios": entries,
+        "totals": {
+            "replayed_events": replayed,
+            "events_per_s_checking": {
+                "interpreted": round(replayed / interp_s, 1) if interp_s > 0 else None,
+                "compiled": round(replayed / comp_s, 1) if comp_s > 0 else None,
+            },
+            # The headline: events/sec through the checking path,
+            # compiled monitors over the interpreted baseline.
+            "speedup_compiled_vs_interpreted": round(interp_s / comp_s, 2)
+            if comp_s > 0
+            else None,
+            "run_speedup_with_checkers": round(run_interp / run_comp, 3)
+            if run_comp > 0
+            else None,
+        },
+    }
+
+
+def render_bench_text(data: Dict) -> str:
+    """Human-readable report of a :func:`run_bench` artifact."""
+    lines = [
+        f"per-run observation bench (profile={data['profile']}, "
+        f"span={data['span']}, repeats={data['repeats']})",
+        f"{'scenario':18s} {'events':>7s} {'no-chk(s)':>10s} {'interp(s)':>10s} "
+        f"{'compiled(s)':>11s} {'check ev/s int':>14s} {'check ev/s comp':>15s} "
+        f"{'speedup':>8s}",
+    ]
+    for name, entry in data["scenarios"].items():
+        checking = entry["checking"]
+        lines.append(
+            f"{name:18s} {entry['events']:7d} "
+            f"{entry['run_wall_s']['no_checkers']:10.3f} "
+            f"{entry['run_wall_s']['interpreted']:10.3f} "
+            f"{entry['run_wall_s']['compiled']:11.3f} "
+            f"{checking['interpreted']['events_per_s']:14,.0f} "
+            f"{checking['compiled']['events_per_s']:15,.0f} "
+            f"{checking['speedup']:7.1f}x"
+        )
+    totals = data["totals"]
+    lines.append(
+        f"checking path: {totals['events_per_s_checking']['interpreted']:,.0f} -> "
+        f"{totals['events_per_s_checking']['compiled']:,.0f} events/s "
+        f"({totals['speedup_compiled_vs_interpreted']:.1f}x compiled vs "
+        f"interpreted); whole-run speedup with checkers attached: "
+        f"{totals['run_speedup_with_checkers']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def compare_bench(
+    baseline: Dict, current: Dict, tolerance: float = 0.20
+) -> List[str]:
+    """Soft regression gate: warnings when events/sec fell > ``tolerance``.
+
+    Compares the checking-path events/sec totals (both modes) and each
+    scenario's compiled throughput against a previous artifact.
+    Returns warning strings; empty means no regression beyond the
+    tolerance.  Wall-clock noise across runners is expected — this is a
+    warn-only gate, never a hard failure.
+    """
+    warnings: List[str] = []
+
+    def check(label: str, old_value, new_value) -> None:
+        if not old_value or not new_value:
+            return
+        if new_value < old_value * (1.0 - tolerance):
+            drop = 100.0 * (1.0 - new_value / old_value)
+            warnings.append(
+                f"{label}: events/sec regressed {drop:.0f}% "
+                f"({old_value:,.0f} -> {new_value:,.0f})"
+            )
+
+    old_totals = baseline.get("totals", {}).get("events_per_s_checking", {})
+    new_totals = current.get("totals", {}).get("events_per_s_checking", {})
+    for mode in ("interpreted", "compiled"):
+        check(f"totals.{mode}", old_totals.get(mode), new_totals.get(mode))
+    old_scenarios = baseline.get("scenarios", {})
+    for name, entry in current.get("scenarios", {}).items():
+        old_entry = old_scenarios.get(name)
+        if old_entry is None:
+            continue
+        # .get chains: a schema-drifted baseline skips the comparison
+        # rather than failing the gate.
+        check(
+            f"{name}.compiled",
+            old_entry.get("checking", {}).get("compiled", {}).get("events_per_s"),
+            entry["checking"]["compiled"].get("events_per_s"),
+        )
+    return warnings
+
+
+def write_bench_json(data: Dict, path: str) -> None:
+    """Write the artifact (stable key order, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_json(path: str) -> Dict:
+    """Read a previously written artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -12,6 +12,7 @@ Usage::
     repro study --scenario all --policy tdvs,edvs --workers 4
     repro sweep --backend distributed --connect 0.0.0.0:7641  # coordinator
     repro worker --connect HOST:7641        # pull jobs from a coordinator
+    repro bench --out BENCH_run.json        # observation-path benchmark
     repro loc-gen "FORMULA" --out analyzer.py
 
 ``repro simulate`` runs a single configuration and prints the totals;
@@ -287,6 +288,59 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_parser = sub.add_parser("loc-gen", help="generate a standalone LOC analyzer")
     gen_parser.add_argument("formula", help="LOC formula text")
     gen_parser.add_argument("--out", default=None, help="output path (default stdout)")
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="per-run observation benchmark: events/sec through the "
+        "checking path, compiled monitors vs the interpretive baseline",
+    )
+    bench_parser.add_argument(
+        "--scenario",
+        action="append",
+        help="scenario names (repeatable, comma lists allowed; 'all' for "
+        "the catalog; default: a diverse 3-scenario subset)",
+    )
+    bench_parser.add_argument(
+        "--profile",
+        default="bench",
+        choices=("bench", "quick", "paper"),
+        help="run-length profile (default: bench)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per mode; the best wall-clock counts "
+        "(default: 3)",
+    )
+    bench_parser.add_argument(
+        "--replay-events",
+        type=int,
+        default=100_000,
+        help="approximate events replayed through each checking path "
+        "(default: 100000)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_run.json",
+        help="JSON artifact path (default: BENCH_run.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous BENCH_run.json to diff against (soft gate: "
+        "regressions print warnings, the exit code stays 0)",
+    )
+    bench_parser.add_argument(
+        "--regress-warn",
+        type=float,
+        default=0.20,
+        help="events/sec drop fraction that triggers a warning against "
+        "--baseline (default: 0.20)",
+    )
+    bench_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress"
+    )
 
     return parser
 
@@ -647,6 +701,79 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.api import Session
+    from repro.bench import (
+        compare_bench,
+        load_bench_json,
+        render_bench_text,
+        write_bench_json,
+    )
+
+    scenarios = _split_csv(args.scenario) or None
+
+    def live_line(name: str, entry: dict) -> None:
+        checking = entry["checking"]
+        print(
+            f"bench: {name}: {entry['events']} events, "
+            f"checking {checking['interpreted']['events_per_s']:,.0f} -> "
+            f"{checking['compiled']['events_per_s']:,.0f} ev/s "
+            f"({checking['speedup']:.1f}x)",
+            file=sys.stderr,
+        )
+
+    # Load the baseline up front: --baseline may point at the same path
+    # as --out (the natural "compare against my last run" invocation),
+    # and writing first would make the gate compare the run to itself.
+    # A missing baseline is a first run, not an error — the gate is soft.
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_bench_json(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"bench: no baseline at {args.baseline} (first run?) — "
+                "skipping the regression gate",
+                file=sys.stderr,
+            )
+        except (OSError, ValueError) as exc:
+            # A torn/corrupt artifact (e.g. a previous run killed
+            # mid-write landing in the CI cache) must not turn the soft
+            # gate into a hard failure.
+            print(
+                f"bench: unreadable baseline {args.baseline} ({exc!r}) — "
+                "skipping the regression gate",
+                file=sys.stderr,
+            )
+
+    session = Session()
+    data = session.bench_run(
+        scenarios=scenarios,
+        profile=args.profile,
+        repeats=args.repeats,
+        replay_target_events=args.replay_events,
+        progress=None if args.quiet else live_line,
+    )
+    write_bench_json(data, args.out)
+    print(render_bench_text(data))
+    print(f"wrote {args.out}")
+
+    if baseline is not None:
+        warnings = compare_bench(baseline, data, tolerance=args.regress_warn)
+        for warning in warnings:
+            print(f"bench: WARNING {warning}", file=sys.stderr)
+            if os.environ.get("GITHUB_ACTIONS"):
+                # Soft gate: surface as an Actions warning annotation,
+                # never a red run — wall-clock noise across runners is
+                # expected.
+                print(f"::warning title=bench_run regression::{warning}")
+        if not warnings:
+            print("bench: no events/sec regression vs baseline", file=sys.stderr)
+    return 0
+
+
 def _cmd_loc_gen(args) -> int:
     source = generate_analyzer_source(args.formula)
     if args.out:
@@ -675,6 +802,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_study(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

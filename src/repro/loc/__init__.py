@@ -20,8 +20,15 @@ methodology end to end:
 * a streaming **checker** reporting assertion violations with bounded
   memory (:mod:`~repro.loc.checker`);
 * a streaming **distribution analyzer** (:mod:`~repro.loc.analyzer`);
+* **online monitors** (:mod:`~repro.loc.monitor`): the default
+  simulation-time checking path — formulas compiled to closure-based
+  ring-buffer monitors (:func:`~repro.loc.monitor.build_monitor`) that
+  subscribe directly to the run's :class:`~repro.trace.bus.TraceBus`,
+  with the interpretive evaluator kept as a proven-equivalent fallback
+  (``REPRO_LOC_MONITOR=interpreted``);
 * a **code generator** that emits a standalone, dependency-free Python
-  analyzer for a formula (:mod:`~repro.loc.codegen`) — the paper's
+  analyzer for a formula, and the online-monitor compiler behind the
+  monitor API (:mod:`~repro.loc.codegen`) — the paper's
   "automatically generated, simulation-language-independent" tooling;
 * the paper's formulas (1)-(3) as ready-made builders
   (:mod:`~repro.loc.builtin`).
@@ -42,10 +49,23 @@ from repro.loc.builtin import (
     power_distribution_formula,
     throughput_distribution_formula,
 )
-from repro.loc.checker import CheckResult, Violation, build_checker
-from repro.loc.codegen import generate_analyzer_source
+from repro.loc.checker import CheckResult, Violation, build_checker, check_trace
+from repro.loc.codegen import (
+    compile_monitor_feed,
+    generate_analyzer_source,
+    generate_monitor_source,
+    monitor_event,
+)
 from repro.loc.evaluator import StreamingEvaluator
 from repro.loc.lexer import Token, tokenize
+from repro.loc.monitor import (
+    MONITOR_MODE_ENV_VAR,
+    CompiledMonitor,
+    InterpretedMonitor,
+    build_monitor,
+    resolve_monitor_mode,
+    run_monitor,
+)
 from repro.loc.parser import parse_formula
 
 __all__ = [
@@ -53,20 +73,30 @@ __all__ = [
     "BinaryOp",
     "CheckResult",
     "CheckerFormula",
+    "CompiledMonitor",
     "DistributionAnalyzer",
     "DistributionFormula",
     "DistributionResult",
     "IndexExpr",
+    "InterpretedMonitor",
+    "MONITOR_MODE_ENV_VAR",
     "Negate",
     "Number",
     "StreamingEvaluator",
     "Token",
     "Violation",
     "build_checker",
+    "build_monitor",
+    "check_trace",
+    "compile_monitor_feed",
     "forwarding_latency_formula",
     "generate_analyzer_source",
+    "generate_monitor_source",
+    "monitor_event",
     "parse_formula",
     "power_distribution_formula",
+    "resolve_monitor_mode",
+    "run_monitor",
     "throughput_distribution_formula",
     "tokenize",
 ]

@@ -274,10 +274,17 @@ class DistributionAnalyzer:
 
 
 def analyze_trace(
-    formula: Union[str, DistributionFormula], events: Iterable[TraceEvent]
+    formula: Union[str, DistributionFormula],
+    events: Iterable[TraceEvent],
+    mode: Optional[str] = None,
 ) -> DistributionResult:
-    """Run a distribution analysis over an event iterable."""
-    analyzer = DistributionAnalyzer(formula)
-    for event in events:
-        analyzer.emit(event)
-    return analyzer.finish()
+    """Run a distribution analysis over an event iterable.
+
+    Routes through :func:`repro.loc.monitor.build_monitor`, so offline
+    trace analysis gets the compiled fast path too; ``mode`` (or
+    ``REPRO_LOC_MONITOR``) selects the interpretive fallback.
+    """
+    from repro.loc.monitor import build_monitor, run_monitor
+
+    monitor = build_monitor(formula, mode=mode, expect="distribution")
+    return run_monitor(monitor, events)

@@ -193,9 +193,20 @@ def check_trace(
     formula: Union[str, CheckerFormula],
     events: Iterable[TraceEvent],
     max_recorded_violations: int = 100,
+    mode: Optional[str] = None,
 ) -> CheckResult:
-    """Check ``formula`` over an event iterable and return the result."""
-    checker = build_checker(formula, max_recorded_violations)
-    for event in events:
-        checker.emit(event)
-    return checker.finish()
+    """Check ``formula`` over an event iterable and return the result.
+
+    Routes through :func:`repro.loc.monitor.build_monitor`, so offline
+    trace analysis gets the compiled fast path too; ``mode`` (or
+    ``REPRO_LOC_MONITOR``) selects the interpretive fallback.
+    """
+    from repro.loc.monitor import build_monitor, run_monitor
+
+    monitor = build_monitor(
+        formula,
+        mode=mode,
+        max_recorded_violations=max_recorded_violations,
+        expect="checker",
+    )
+    return run_monitor(monitor, events)

@@ -8,11 +8,14 @@
 * the 16 device ports with their arrival/enqueue/forward hooks;
 * the receive and transmit microengines bound to the selected benchmark
   application's step streams;
-* the power accountant and the trace annotation provider.
+* the power accountant, the trace annotation provider, and the
+  :class:`~repro.trace.bus.TraceBus` every observation rides.
 
-The chip exposes the counters and hooks the DVS governors and the LOC
-trace sinks plug into; the run loop itself lives in
-:mod:`repro.runner`.
+Trace events flow through the bus: subscribers (compiled LOC monitors,
+legacy ``emit(TraceEvent)`` sinks) register before :meth:`NpuChip.start`,
+and starting the chip binds one emitter per event name — the shared
+no-op for names nobody listens to, so an unobserved run never
+materializes a record.  The run loop itself lives in :mod:`repro.runner`.
 """
 
 from __future__ import annotations
@@ -34,7 +37,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.stats import RateWindow
 from repro.trace.annotations import AnnotationProvider
-from repro.trace.buffer import MultiSink
+from repro.trace.bus import NOOP_EMITTER, TraceBus
+from repro.trace.events import prefixed_event_name
 from repro.traffic.packet import Packet
 
 
@@ -142,13 +146,14 @@ class NpuChip:
         self.arrival_hooks: List = []
 
         # -- trace ---------------------------------------------------------
-        self.sinks = MultiSink()
         self.annotations = AnnotationProvider(
             self.reference_clock,
             energy_uj=self.accountant.total_energy_uj,
             total_pkt=lambda: self.forwarded_packets,
             total_bit=lambda: self.forwarded_bits,
         )
+        self.bus = TraceBus(self.annotations)
+        self._emit_forward = NOOP_EMITTER
 
         # -- ports ---------------------------------------------------------
         self.ports = PortArray(
@@ -158,7 +163,6 @@ class NpuChip:
             npu.rx_queue_packets,
             self.ixbus,
             on_arrival=self._on_arrival,
-            on_enqueued=self._on_enqueued,
             on_forward=self._on_forward,
         )
 
@@ -220,26 +224,41 @@ class NpuChip:
             self.accountant.attach_me(me)
             self.mes.append(me)
 
-        if config.pipeline_events is not None:
-            for me in self.mes:
-                me.on_instructions = self._on_instructions
-
         self._started = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start every microengine."""
+        """Bind trace emitters against the bus, then start every ME.
+
+        Binding happens here — after every subscriber registered — so
+        that event names nobody observes resolve to the bus's shared
+        no-op emitter and cost nothing during the run.
+        """
         if self._started:
             raise NpuError("chip already started")
         self._started = True
+        self._emit_forward = self.bus.emitter("forward")
+        self.ports.bind_trace(self.bus)
+        for name, resource in self.memories.items():
+            resource.bind_trace(self.bus, f"mem_{name}")
+        self.ixbus.bind_trace(self.bus, "mem_ixbus")
+        if self.config.pipeline_events is not None:
+            for me in self.mes:
+                emit = self.bus.emitter(prefixed_event_name("pipeline", me.index))
+                me.pipeline_emitter = None if emit is NOOP_EMITTER else emit
         for me in self.mes:
             me.start()
 
     def add_sink(self, sink) -> None:
-        """Attach a trace sink (LOC analyzer, writer, buffer ...)."""
-        self.sinks.add(sink)
+        """Attach a structured trace sink (LOC analyzer, writer, buffer ...).
+
+        Sinks are wildcard subscribers on the chip's
+        :class:`~repro.trace.bus.TraceBus`; attach them before
+        :meth:`start`.
+        """
+        self.bus.attach_sink(sink)
 
     def deliver(self, port_index: int, packet: Packet) -> None:
         """Traffic-source entry point."""
@@ -254,9 +273,6 @@ class NpuChip:
         self.traffic_monitor.add(packet.size_bits)
         for hook in self.arrival_hooks:
             hook()
-
-    def _on_enqueued(self, packet: Packet) -> None:
-        self._emit("fifo")
 
     def _make_rx_steps(self, packet: Packet):
         handle = self.buffer_pool.allocate()
@@ -288,7 +304,7 @@ class NpuChip:
         self.forwarded_packets += 1
         self.forwarded_bits += packet.size_bits
         self._release_buffer(packet)
-        self._emit("forward")
+        self._emit_forward()
 
     def _on_drop(self, packet: Packet, reason: str) -> None:
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
@@ -298,16 +314,6 @@ class NpuChip:
         handle = self._buffer_handles.pop(packet.seq, None)
         if handle is not None:
             self.buffer_pool.release(handle)
-
-    # ------------------------------------------------------------------
-    # Trace helpers
-    # ------------------------------------------------------------------
-    def _emit(self, name: str) -> None:
-        if self.sinks.sinks:
-            self.sinks.emit(self.annotations.make_event(name))
-
-    def _on_instructions(self, me_index: int, count: int) -> None:
-        self._emit(f"m{me_index}_pipeline")
 
     # ------------------------------------------------------------------
     # Summaries

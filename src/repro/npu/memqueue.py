@@ -11,6 +11,14 @@ SDRAM latency under load is what idles microengines: with ~60 ns access
 latency plus queueing, a reference can take the "as much as 100 clock
 cycles" the paper cites, and when all four threads of an ME are waiting
 the engine goes idle — the signal EDVS thresholds on.
+
+Controllers can publish per-request trace events (``mem_sram``,
+``mem_sdram``, ``mem_scratch``, ``mem_ixbus``) onto the run's
+:class:`~repro.trace.bus.TraceBus` via :meth:`QueuedResource.bind_trace`.
+These are *named-only* channels: they reach explicit tuple subscribers
+but never wildcard sinks, so enabling a trace file does not change its
+contents — and with no subscriber the request path pays one ``None``
+check.
 """
 
 from __future__ import annotations
@@ -68,6 +76,18 @@ class QueuedResource:
         self.busy_ps = 0
         self.total_wait_ps = 0
         self.max_wait_ps = 0
+        self._trace_emit: Optional[Callable[[], None]] = None
+
+    def bind_trace(self, bus, event_name: Optional[str] = None) -> None:
+        """Bind this controller's per-request trace emitter.
+
+        ``event_name`` defaults to ``mem_<name>``.  The channel is
+        named-only (``to_sinks=False``): wildcard sinks never see it.
+        """
+        from repro.trace.bus import NOOP_EMITTER
+
+        emit = bus.emitter(event_name or f"mem_{self.name}", to_sinks=False)
+        self._trace_emit = None if emit is NOOP_EMITTER else emit
 
     def request(
         self, nbytes: int, callback: Callable[..., None], *args: Any
@@ -94,6 +114,8 @@ class QueuedResource:
             self.max_wait_ps = wait
         if self.on_energy is not None:
             self.on_energy(self.name, nbytes)
+        if self._trace_emit is not None:
+            self._trace_emit()
 
         self.sim.schedule_at(done, callback, *args)
         return done

@@ -154,6 +154,10 @@ class Microengine:
         self.power_listener: Optional[Callable[["Microengine"], None]] = None
         #: Listener invoked per executed instruction batch (trace events).
         self.on_instructions: Optional[Callable[[int, int], None]] = None
+        #: Bound ``m<k>_pipeline`` bus emitter, one call per instruction
+        #: block.  The chip binds it at start only when pipeline events
+        #: are both configured and subscribed; ``None`` costs nothing.
+        self.pipeline_emitter: Optional[Callable[[], None]] = None
 
         self.instructions_executed = 0
         self.packets_processed = 0
@@ -278,6 +282,8 @@ class Microengine:
         self.polls += 1
         delay = self.clock.delay_for_cycles(self.poll_instructions)
         self.instructions_executed += self.poll_instructions
+        if self.pipeline_emitter is not None:
+            self.pipeline_emitter()
         if self.on_instructions is not None:
             self.on_instructions(self.index, self.poll_instructions)
         if self.poll_counts_as_idle:
@@ -289,6 +295,8 @@ class Microengine:
     def _run_compute(self, thread: _HwThread, instructions: int) -> None:
         self._zero_time_ops = 0
         self.instructions_executed += instructions
+        if self.pipeline_emitter is not None:
+            self.pipeline_emitter()
         if self.on_instructions is not None:
             self.on_instructions(self.index, instructions)
         delay = self.clock.delay_for_cycles(instructions)

@@ -5,7 +5,9 @@ The port array is where the chip meets the outside world:
 * **receive** — the traffic source delivers a packet to a port; the port
   notifies the traffic monitor (TDVS's 32-bit adder counts every arrival,
   dropped or not), crosses the IX bus, and lands in the port's bounded
-  receive queue — or is dropped if the queue is full;
+  receive queue — or is dropped if the queue is full.  Landing in the
+  queue publishes the paper's ``fifo`` trace event straight onto the
+  run's :class:`~repro.trace.bus.TraceBus`;
 * **transmit** — a transmit ME hands a processed packet to its output
   port; the port serializes it at wire rate and fires the chip's forward
   hook when the last bit leaves, which is what emits ``forward`` trace
@@ -80,8 +82,9 @@ class PortArray:
         Called with every arriving packet *before* queueing (the TDVS
         traffic monitor and the chip's offered counters).
     on_enqueued:
-        Called when a packet lands in a receive queue (emits ``fifo``
-        trace events).
+        Optional extra callback when a packet lands in a receive queue
+        (the ``fifo`` trace event itself is published on the bus bound
+        via :meth:`bind_trace`).
     on_forward:
         Called when a transmit completes (emits ``forward`` events).
     """
@@ -108,6 +111,18 @@ class PortArray:
         self.on_enqueued = on_enqueued
         self.on_forward = on_forward
         self.rx_dropped = 0
+        self._emit_fifo: Optional[Callable[[], None]] = None
+
+    def bind_trace(self, bus) -> None:
+        """Bind the ``fifo`` emitter on the run's trace bus.
+
+        A no-op emitter (nothing subscribed) is dropped entirely so the
+        enqueue hot path pays a single ``None`` check.
+        """
+        from repro.trace.bus import NOOP_EMITTER
+
+        emit = bus.emitter("fifo")
+        self._emit_fifo = None if emit is NOOP_EMITTER else emit
 
     def __len__(self) -> int:
         return len(self.ports)
@@ -134,6 +149,8 @@ class PortArray:
     def _bus_done(self, port: DevicePort, packet: Packet) -> None:
         port.rx_queue_reserved -= 1
         if port.rx_queue.offer(packet):
+            if self._emit_fifo is not None:
+                self._emit_fifo()
             if self.on_enqueued is not None:
                 self.on_enqueued(packet)
         else:  # pragma: no cover - reservation prevents this

@@ -2,10 +2,16 @@
 
 :class:`SimulationRun` wires a :class:`~repro.npu.chip.NpuChip`, a
 traffic source and (optionally) a DVS governor together from a single
-:class:`~repro.config.RunConfig`, attaches any number of trace sinks
-(LOC analyzers, trace writers), and runs for the configured number of
-reference-clock cycles.  This is the entry point the experiments, the
-examples and most integration tests use.
+:class:`~repro.config.RunConfig`, attaches observers to the chip's
+:class:`~repro.trace.bus.TraceBus` — compiled LOC monitors
+(``monitors=``, see :mod:`repro.loc.monitor`) and legacy structured
+sinks (``sinks=``: analyzers, trace writers) — and runs for the
+configured number of reference-clock cycles.  This is the entry point
+the experiments, the examples and most integration tests use.
+
+When nothing subscribes to an event name, the bus binds the chip's
+emitters to a shared no-op at start, so an unobserved run skips trace
+materialization entirely.
 """
 
 from __future__ import annotations
@@ -83,16 +89,28 @@ class RunResult:
 
 
 class SimulationRun:
-    """A fully wired simulation, ready to run once."""
+    """A fully wired simulation, ready to run once.
 
-    def __init__(self, config: RunConfig, sinks: Sequence = ()):
+    ``sinks`` are legacy structured observers (``emit(TraceEvent)``);
+    ``monitors`` are bus-native observers exposing ``attach(bus)`` —
+    typically :func:`repro.loc.monitor.build_monitor` products riding
+    the tuple-payload fast path.  Both subscribe to :attr:`bus` before
+    the chip starts.
+    """
+
+    def __init__(
+        self, config: RunConfig, sinks: Sequence = (), monitors: Sequence = ()
+    ):
         config.validate()
         self.config = config
         self.sim = Simulator(name=f"{config.benchmark}-{config.dvs.policy}")
         self.rng_streams = RngStreams(config.seed)
         self.chip = NpuChip(self.sim, config, self.rng_streams)
+        self.bus = self.chip.bus
         for sink in sinks:
             self.chip.add_sink(sink)
+        for monitor in monitors:
+            monitor.attach(self.bus)
 
         # -- traffic -----------------------------------------------------
         if config.traffic.scenario is not None:
@@ -200,6 +218,8 @@ class SimulationRun:
         )
 
 
-def run_simulation(config: RunConfig, sinks: Sequence = ()) -> RunResult:
+def run_simulation(
+    config: RunConfig, sinks: Sequence = (), monitors: Sequence = ()
+) -> RunResult:
     """Build and run a simulation in one call."""
-    return SimulationRun(config, sinks=sinks).run()
+    return SimulationRun(config, sinks=sinks, monitors=monitors).run()

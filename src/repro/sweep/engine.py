@@ -30,12 +30,11 @@ import warnings
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
-from repro.loc.analyzer import DistributionAnalyzer
 from repro.loc.builtin import (
     power_distribution_formula,
     throughput_distribution_formula,
 )
-from repro.loc.checker import build_checker
+from repro.loc.monitor import build_monitor
 from repro.runner import run_simulation
 from repro.sweep.spec import Job, SweepSpec
 from repro.sweep.store import ResultStore, SweepOutcome
@@ -70,28 +69,37 @@ def run_job(job: Job) -> SweepOutcome:
     process-pool workers and :func:`repro.experiments.common.instrumented_run`.
     Determinism comes from the job itself: the config carries the seed,
     and every RNG stream derives from it.
+
+    LOC analysis (the span distributions and ``job.checks``) rides the
+    run's :class:`~repro.trace.bus.TraceBus` as online monitors —
+    compiled by default, interpretive under
+    ``REPRO_LOC_MONITOR=interpreted`` — with results proven identical
+    either way (``tests/test_monitors.py``).
     """
     config = job.run_config()
-    sinks = []
-    power_analyzer = throughput_analyzer = None
+    power_monitor = throughput_monitor = None
+    monitors = []
     if job.span is not None:
-        power_analyzer = DistributionAnalyzer(
-            power_distribution_formula(span=job.span)
+        power_monitor = build_monitor(
+            power_distribution_formula(span=job.span), expect="distribution"
         )
-        throughput_analyzer = DistributionAnalyzer(
-            throughput_distribution_formula(span=job.span)
+        throughput_monitor = build_monitor(
+            throughput_distribution_formula(span=job.span),
+            expect="distribution",
         )
-        sinks = [power_analyzer, throughput_analyzer]
-    checkers = [build_checker(check) for check in job.checks]
-    sinks = sinks + checkers
-    result = run_simulation(config, sinks=sinks)
+        monitors = [power_monitor, throughput_monitor]
+    check_monitors = [
+        build_monitor(check, expect="checker") for check in job.checks
+    ]
+    monitors = monitors + check_monitors
+    result = run_simulation(config, monitors=monitors)
     return SweepOutcome(
         job_id=job.job_id,
         label=job.label,
         result=result,
-        power_dist=power_analyzer.finish() if power_analyzer else None,
-        throughput_dist=throughput_analyzer.finish() if throughput_analyzer else None,
-        check_results=[checker.finish() for checker in checkers],
+        power_dist=power_monitor.finish() if power_monitor else None,
+        throughput_dist=throughput_monitor.finish() if throughput_monitor else None,
+        check_results=[monitor.finish() for monitor in check_monitors],
     )
 
 

@@ -7,6 +7,10 @@ distinguish microengines (``m2_pipeline`` is a pipeline event from ME2).
 
 The subpackage provides:
 
+* :class:`~repro.trace.bus.TraceBus` — the streaming observation bus
+  every producer publishes into: tuple-payload subscriptions for
+  compiled LOC monitors, wildcard ``emit(TraceEvent)`` sinks for the
+  legacy interfaces, and no-op emitters for unobserved event names;
 * :class:`~repro.trace.events.TraceEvent` — one trace record;
 * :class:`~repro.trace.buffer.TraceBuffer` — in-memory sink with optional
   event-name filtering and bounded retention;
@@ -17,6 +21,7 @@ The subpackage provides:
 
 from repro.trace.annotations import ANNOTATION_DESCRIPTIONS, ANNOTATION_NAMES
 from repro.trace.buffer import MultiSink, NullSink, TraceBuffer
+from repro.trace.bus import NOOP_EMITTER, TraceBus
 from repro.trace.events import (
     EVENT_DESCRIPTIONS,
     EVENT_TYPES,
@@ -34,9 +39,11 @@ __all__ = [
     "EVENT_DESCRIPTIONS",
     "EVENT_TYPES",
     "MultiSink",
+    "NOOP_EMITTER",
     "NullSink",
     "TextTraceWriter",
     "TraceBuffer",
+    "TraceBus",
     "TraceEvent",
     "parse_event_name",
     "prefixed_event_name",

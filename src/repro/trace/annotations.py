@@ -9,7 +9,7 @@ snapshot.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.sim.clock import ClockDomain
 from repro.trace.events import TraceEvent
@@ -56,14 +56,36 @@ class AnnotationProvider:
         self._total_pkt = total_pkt
         self._total_bit = total_bit
 
+    def snapshot(self) -> Tuple[int, float, float, int, int]:
+        """The current annotation row, in :data:`ANNOTATION_NAMES` order.
+
+        This is the allocation-free payload the
+        :class:`~repro.trace.bus.TraceBus` hands to tuple subscribers;
+        :meth:`make_event` wraps the same row in a :class:`TraceEvent`.
+        """
+        now_ps = self.reference_clock.sim.now_ps
+        return (
+            int(self.reference_clock.cycles_at(now_ps)),
+            ps_to_us(now_ps),
+            self._energy_uj(),
+            self._total_pkt(),
+            self._total_bit(),
+        )
+
+    def settle(self) -> None:
+        """Settle lazy accumulators at the current instant, record nothing.
+
+        The energy accountant integrates lazily: reading it chunks the
+        integral at the read instant, and float addition makes the
+        chunking grid part of the numeric identity of a run.  Observed
+        runs historically read energy at every trace-event occurrence,
+        so the bus settles at event occurrences whose names have no
+        subscriber (see :meth:`repro.trace.bus.TraceBus.emitter`) —
+        keeping results bit-identical no matter which subset of events
+        the attached monitors actually consume.
+        """
+        self._energy_uj()
+
     def make_event(self, name: str) -> TraceEvent:
         """Create a :class:`TraceEvent` named ``name`` stamped *now*."""
-        now_ps = self.reference_clock.sim.now_ps
-        return TraceEvent(
-            name=name,
-            cycle=int(self.reference_clock.cycles_at(now_ps)),
-            time=ps_to_us(now_ps),
-            energy=self._energy_uj(),
-            total_pkt=self._total_pkt(),
-            total_bit=self._total_bit(),
-        )
+        return TraceEvent(name, *self.snapshot())

@@ -1,0 +1,56 @@
+"""Regression wall for the legacy-shim deprecation warnings.
+
+``run_sweep``/``run_study`` warn with ``stacklevel=2`` so the report
+points at the *caller's* line, not the shim body — the only way the
+warning is actionable from a long experiment script.  These tests pin
+the attributed filename/line to this file; if a refactor wraps the
+shims in another layer (changing the effective stack depth), they
+fail.
+"""
+
+import warnings
+
+from repro.studies.engine import run_study
+from repro.studies.spec import StudySpec
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+def _tiny_spec() -> SweepSpec:
+    return SweepSpec(
+        policies=("none",),
+        traffic=("load:200",),
+        duration_cycles=20_000,
+    )
+
+
+def test_run_sweep_warning_points_at_caller():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_sweep(_tiny_spec().jobs(), workers=1)  # the attributed line
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__
+    assert "Session.sweep" in str(deprecations[0].message)
+
+
+def test_run_study_warning_points_at_caller():
+    spec = StudySpec(
+        scenarios=("flash_crowd",),
+        policies=("tdvs",),
+        thresholds_mbps=(1000.0,),
+        windows_cycles=(40_000,),
+        duration_cycles=20_000,
+        span=5,
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_study(spec, workers=1)  # the attributed line
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__
+    assert "Session.study" in str(deprecations[0].message)
