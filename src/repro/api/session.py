@@ -59,6 +59,12 @@ class Session:
         self.execution = execution or ExecutionPolicy()
         self.store = store or StorePolicy()
         self.hooks = hooks or EventHooks()
+        # The session-level telemetry snapshot: job/outcome counters,
+        # per-channel TraceBus accounting aggregated across outcomes,
+        # and backend fleet telemetry — exported via write_metrics().
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
 
     # -- single runs -----------------------------------------------------
     def run(
@@ -116,8 +122,14 @@ class Session:
 
     def _expand(self, jobs: JobsLike) -> List[Job]:
         if isinstance(jobs, SweepSpec):
-            return jobs.jobs()
-        return list(jobs)
+            jobs = jobs.jobs()
+        jobs = list(jobs)
+        policy = self.execution.early_abort
+        if policy is not None and policy.enabled():
+            # Gated jobs have distinct ids: a partial outcome must never
+            # be served as the cache entry of its full-run twin.
+            jobs = [job.gated(policy) for job in jobs]
+        return jobs
 
     def _stream(
         self, jobs: List[Job], hooks: EventHooks
@@ -137,18 +149,34 @@ class Session:
                 first_jobs.append(job)
             slots.append(index)
 
+        metrics = self.metrics
+
         def emit(outcome: SweepOutcome) -> None:
             nonlocal done
             for _ in indices_by_id[outcome.job_id]:
                 done += 1
                 if hooks.progress is not None:
                     hooks.progress(done, total, outcome)
+            metrics.counter("session.outcomes").inc()
+            if outcome.cached:
+                metrics.counter("session.outcomes_cached").inc()
+            if outcome.result.aborted_early:
+                metrics.counter("session.outcomes_aborted_early").inc()
+            if outcome.obs:
+                for name, stats in outcome.obs.get("channels", {}).items():
+                    for field in ("published", "delivered", "shed"):
+                        if field in stats:
+                            metrics.counter(f"trace.{name}.{field}").inc(
+                                int(stats[field])
+                            )
             if hooks.on_outcome is not None:
                 hooks.on_outcome(outcome)
             if hooks.on_check_failed is not None and outcome.check_results:
                 failed = [c for c in outcome.check_results if not c.passed]
                 if failed:
                     hooks.on_check_failed(outcome, failed)
+            if hooks.on_abort is not None and outcome.result.aborted_early:
+                hooks.on_abort(outcome)
 
         store: Optional[ResultStore] = self.store.make()
         pending: List[Job] = []
@@ -187,6 +215,11 @@ class Session:
                     store.add(outcome)
                 emit(outcome)
                 yield outcome
+            # Fleet telemetry (coordinator/worker counters, lease EWMA)
+            # merges into the sweep-level snapshot once the run drains.
+            metrics.merge_telemetry(
+                backend.telemetry(), prefix=f"backend.{backend.name}."
+            )
         finally:
             backend.close()
         if open_ids:
@@ -194,6 +227,16 @@ class Session:
                 f"backend {backend.name!r} finished without yielding "
                 f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
             )
+
+    # -- telemetry -------------------------------------------------------
+    def write_metrics(self, path: str, meta: Optional[Dict] = None) -> None:
+        """Write the session's metrics snapshot as JSONL.
+
+        One header line (schema tag + version) then one sorted line per
+        instrument — see ``src/repro/obs/SCHEMA.md`` and the
+        ``repro metrics`` CLI.
+        """
+        self.metrics.write_snapshot(path, meta=meta)
 
     # -- studies ---------------------------------------------------------
     def study(

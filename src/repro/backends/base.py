@@ -62,6 +62,19 @@ class ExecutionBackend(abc.ABC):
     def close(self) -> None:
         """Release any resources held outside :meth:`run` (idempotent)."""
 
+    def telemetry(self) -> dict:
+        """Fleet telemetry for the finished run (flat name → value).
+
+        Integer values are counters, floats are gauges — the session
+        merges the dict into its sweep-level metrics snapshot under a
+        ``backend.<name>.`` prefix.  The base implementation reports
+        nothing; backends override to expose their counters (jobs
+        granted/completed/requeued, lease renewals, heartbeat EWMA for
+        the distributed fleet).  Call after :meth:`run` drains — values
+        mid-run are a live, unsynchronized view.
+        """
+        return {}
+
 
 def run_backend(
     backend: ExecutionBackend,

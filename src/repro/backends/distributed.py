@@ -117,6 +117,9 @@ class _Lease:
     #: consistent with the heartbeat cadence its worker was told.
     term_s: float
     granted_at: float
+    #: When the lease last heartbeat (or was granted) — feeds the
+    #: heartbeat-interval EWMA in the coordinator telemetry.
+    last_beat: float = 0.0
 
 
 class _State:
@@ -138,6 +141,23 @@ class _State:
         self.shutdown = threading.Event()
         self.log = log
         self.on_start = on_start
+        #: Fleet counters (guarded by the same lock); merged into the
+        #: session's sweep-level metrics snapshot after the run.
+        self.counters = {
+            "jobs_granted": 0,
+            "jobs_completed": 0,
+            "jobs_requeued": 0,
+            "duplicates_dropped": 0,
+            "lease_expirations": 0,
+            "heartbeats": 0,
+            "lease_renewals": 0,
+            "workers_connected": 0,
+            "worker_jobs_reported": 0,
+            "worker_heartbeats_reported": 0,
+        }
+        #: EWMA of the interval between a lease's consecutive
+        #: heartbeats — the fleet's effective heartbeat latency.
+        self.heartbeat_ewma_s: Optional[float] = None
 
     def _say(self, line: str) -> None:
         if self.log is not None:
@@ -157,7 +177,9 @@ class _State:
                 self.leases[job.job_id] = _Lease(
                     job=job, worker=worker,
                     deadline=now + term_s, term_s=term_s, granted_at=now,
+                    last_beat=now,
                 )
+                self.counters["jobs_granted"] += 1
                 granted = job
                 reply = {"type": "job", "job": job.to_dict(), "lease_s": term_s}
             elif len(self.completed) >= self.total:
@@ -173,17 +195,30 @@ class _State:
     def heartbeat(self, job_id: str, worker: str) -> None:
         """Extend a live lease (stale heartbeats are ignored)."""
         with self.lock:
+            self.counters["heartbeats"] += 1
             lease = self.leases.get(job_id)
             if lease is not None and lease.worker == worker:
-                lease.deadline = time.monotonic() + lease.term_s
+                now = time.monotonic()
+                lease.deadline = now + lease.term_s
+                self.counters["lease_renewals"] += 1
+                interval = max(0.0, now - lease.last_beat)
+                lease.last_beat = now
+                if self.heartbeat_ewma_s is None:
+                    self.heartbeat_ewma_s = interval
+                else:
+                    self.heartbeat_ewma_s = (
+                        0.3 * interval + 0.7 * self.heartbeat_ewma_s
+                    )
 
     def complete(self, job_id: str, outcome: SweepOutcome) -> None:
         """Deliver an outcome exactly once; duplicates are dropped."""
         with self.lock:
             if job_id in self.completed:
+                self.counters["duplicates_dropped"] += 1
                 self._say(f"dropping duplicate outcome for {job_id}")
                 return
             self.completed.add(job_id)
+            self.counters["jobs_completed"] += 1
             lease = self.leases.pop(job_id, None)
             if lease is not None:
                 self.clock.observe(time.monotonic() - lease.granted_at)
@@ -215,6 +250,7 @@ class _State:
                     f"after {attempts} attempt(s); last worker {worker}: {reason}"
                 ))
                 return
+            self.counters["jobs_requeued"] += 1
             self._say(f"requeueing {job_id} (attempt {attempts} lost: {reason})")
             self.pending.appendleft(lease.job)
 
@@ -233,8 +269,28 @@ class _State:
             expired = [(job_id, lease.worker)
                        for job_id, lease in self.leases.items()
                        if lease.deadline < now]
+            self.counters["lease_expirations"] += len(expired)
         for job_id, worker in expired:
             self.fail_attempt(job_id, worker, "lease expired")
+
+    def absorb_worker_telemetry(self, telemetry: object) -> None:
+        """Fold a worker's self-reported counters into the fleet totals.
+
+        Workers attach an optional ``telemetry`` dict to each outcome
+        message (absent on protocol-v1 peers that predate it); only the
+        keys the coordinator knows are aggregated, so a newer worker
+        never breaks an older coordinator.
+        """
+        if not isinstance(telemetry, dict):
+            return
+        with self.lock:
+            for src, dst in (
+                ("jobs_run", "worker_jobs_reported"),
+                ("heartbeats_sent", "worker_heartbeats_reported"),
+            ):
+                value = telemetry.get(src)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    self.counters[dst] += max(0, value)
 
 
 class DistributedBackend(ExecutionBackend):
@@ -303,6 +359,7 @@ class DistributedBackend(ExecutionBackend):
         self.host, self.port = self._listener.getsockname()[:2]
         self._connections: List[socket.socket] = []
         self._conn_lock = threading.Lock()
+        self._last_state: Optional[_State] = None
 
     @property
     def address(self) -> str:
@@ -332,6 +389,7 @@ class DistributedBackend(ExecutionBackend):
         jobs = list(jobs)
         state = _State(jobs, self.clock, self.max_retries, self.log,
                        on_start=on_start)
+        self._last_state = state
         accept = threading.Thread(
             target=self._accept_loop, args=(state,), daemon=True,
             name="repro-coordinator-accept",
@@ -352,6 +410,20 @@ class DistributedBackend(ExecutionBackend):
         finally:
             state.shutdown.set()
             self.close()
+
+    def telemetry(self) -> dict:
+        """Fleet counters from the last run, plus lease/heartbeat gauges."""
+        if self._last_state is None:
+            return {}
+        state = self._last_state
+        with state.lock:
+            out: dict = dict(state.counters)
+            if state.heartbeat_ewma_s is not None:
+                out["heartbeat_ewma_s"] = float(state.heartbeat_ewma_s)
+        if self.clock.ewma_s is not None:
+            out["job_wall_ewma_s"] = float(self.clock.ewma_s)
+        out["lease_term_s"] = float(self.clock.term_s)
+        return out
 
     # -- socket threads -------------------------------------------------
     def _accept_loop(self, state: _State) -> None:
@@ -389,6 +461,8 @@ class DistributedBackend(ExecutionBackend):
                     name = message.get("worker")
                     if name:
                         worker = f"{worker} ({name})"
+                    with state.lock:
+                        state.counters["workers_connected"] += 1
                     state._say(f"worker connected: {worker}")
                     send_message(conn, {
                         "type": "welcome",
@@ -403,6 +477,7 @@ class DistributedBackend(ExecutionBackend):
                     outcome = replace(
                         SweepOutcome.from_dict(message["outcome"]), cached=False
                     )
+                    state.absorb_worker_telemetry(message.get("telemetry"))
                     state.complete(outcome.job_id, outcome)
                     send_message(conn, {"type": "ok"})
                 elif kind == "error":

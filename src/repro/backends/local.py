@@ -26,6 +26,9 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
+    def __init__(self):
+        self.jobs_run = 0
+
     def run(
         self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
     ) -> Iterator[SweepOutcome]:
@@ -34,7 +37,12 @@ class SerialBackend(ExecutionBackend):
         for job in jobs:
             if on_start is not None:
                 on_start(job)
-            yield run_job(job)
+            outcome = run_job(job)
+            self.jobs_run += 1
+            yield outcome
+
+    def telemetry(self) -> dict:
+        return {"jobs_run": self.jobs_run}
 
 
 class ProcessBackend(ExecutionBackend):
@@ -52,6 +60,8 @@ class ProcessBackend(ExecutionBackend):
         if workers < 1:
             raise BackendError(f"process backend needs workers >= 1, got {workers}")
         self.workers = workers
+        self.jobs_run = 0
+        self._pool_size = 0
 
     def run(
         self, jobs: Sequence[Job], on_start: Optional[StartFn] = None
@@ -60,7 +70,8 @@ class ProcessBackend(ExecutionBackend):
 
         if not jobs:
             return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(jobs))) as pool:
+        self._pool_size = min(self.workers, len(jobs))
+        with ProcessPoolExecutor(max_workers=self._pool_size) as pool:
             remaining = set()
             for job in jobs:
                 if on_start is not None:
@@ -69,4 +80,8 @@ class ProcessBackend(ExecutionBackend):
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
+                    self.jobs_run += 1
                     yield future.result()
+
+    def telemetry(self) -> dict:
+        return {"jobs_run": self.jobs_run, "pool_workers": self._pool_size}

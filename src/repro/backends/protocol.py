@@ -24,6 +24,12 @@ Heartbeats are the one fire-and-forget message, so a worker may send
 them from a side thread (under the shared send lock) while its main
 thread blocks in ``run_job``; the reply stream then only ever contains
 responses to the main thread's requests.
+
+Optional keys are backward-compatible *within* a protocol version:
+``outcome`` messages may carry a ``telemetry`` object (per-job worker
+counters — see :data:`OUTCOME_TELEMETRY_KEYS`) that older coordinators
+ignore and newer coordinators fold into fleet totals.  Any change that
+a peer cannot safely ignore still bumps :data:`PROTOCOL_VERSION`.
 """
 
 from __future__ import annotations
@@ -47,6 +53,11 @@ _HEADER = struct.Struct(">I")
 #: Upper bound on one message; an outcome is a few KB, so anything
 #: near this is a framing error, not data.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Optional per-job counters an ``outcome`` message may attach under
+#: its ``telemetry`` key.  Coordinators aggregate only the names they
+#: know, so either peer may be the newer one.
+OUTCOME_TELEMETRY_KEYS = ("jobs_run", "heartbeats_sent")
 
 #: Default coordinator host when an endpoint omits one.
 DEFAULT_HOST = "127.0.0.1"

@@ -79,10 +79,14 @@ def _heartbeat_loop(
     job_id: str,
     interval_s: float,
     stop: threading.Event,
+    sent: list,
 ) -> None:
+    # ``sent`` is a one-cell counter the main thread reads after join()
+    # — it rides the outcome message as worker telemetry.
     while not stop.wait(interval_s):
         try:
             send_message(sock, {"type": "heartbeat", "job_id": job_id}, send_lock)
+            sent[0] += 1
         except OSError:
             return  # connection gone; the main thread will notice
 
@@ -187,9 +191,10 @@ def _serve_session(
             grant_lease_s = float(reply.get("lease_s", lease_s))
             heartbeat_s = max(grant_lease_s / 3.0, 0.2)
             stop = threading.Event()
+            beats = [0]
             heartbeat = threading.Thread(
                 target=_heartbeat_loop,
-                args=(sock, send_lock, job.job_id, heartbeat_s, stop),
+                args=(sock, send_lock, job.job_id, heartbeat_s, stop, beats),
                 daemon=True, name="repro-worker-heartbeat",
             )
             heartbeat.start()
@@ -213,10 +218,17 @@ def _serve_session(
             stop.set()
             heartbeat.join()
             try:
+                # ``telemetry`` carries per-job deltas the coordinator
+                # sums into fleet totals; the key is optional within
+                # protocol v1, so older coordinators simply ignore it.
                 send_message(sock, {
                     "type": "outcome",
                     "job_id": outcome.job_id,
                     "outcome": outcome.to_dict(),
+                    "telemetry": {
+                        "jobs_run": 1,
+                        "heartbeats_sent": beats[0],
+                    },
                 }, send_lock)
                 recv_message(sock)  # ok
             except (OSError, BackendError):

@@ -35,7 +35,11 @@ bench`` on the CLI (which also applies the soft regression gate via
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
+import os
+import pstats
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +61,7 @@ from repro.runner import SimulationRun
 from repro.scenarios import get_scenario, list_scenarios
 from repro.studies.spec import StudySpec
 from repro.trace.buffer import TraceBuffer
+from repro.trace.bus import OBS_COUNTERS_ENV_VAR
 from repro.trace.events import TraceEvent
 
 #: Default scenario subset: one surge, one attack, one steady-saturation
@@ -209,6 +214,29 @@ def bench_scenario(
             best = wall if best is None else min(best, wall)
         walls[mode] = best
 
+    # Counter overhead: the per-channel observation counters default
+    # on, so ``walls["compiled"]`` already pays them; rerun the same
+    # compiled configuration with ``REPRO_OBS_COUNTERS=off`` to price
+    # exactly what the counters add.
+    saved_counters = os.environ.get(OBS_COUNTERS_ENV_VAR)
+    os.environ[OBS_COUNTERS_ENV_VAR] = "off"
+    try:
+        uncounted = None
+        for _ in range(max(1, repeats)):
+            monitors = [build_monitor(f, mode="compiled") for f in formulas]
+            wall, _result = _timed_run(config, monitors=monitors)
+            uncounted = wall if uncounted is None else min(uncounted, wall)
+    finally:
+        if saved_counters is None:
+            del os.environ[OBS_COUNTERS_ENV_VAR]
+        else:
+            os.environ[OBS_COUNTERS_ENV_VAR] = saved_counters
+    counter_overhead_pct = (
+        round(100.0 * (walls["compiled"] / uncounted - 1.0), 2)
+        if uncounted and uncounted > 0
+        else None
+    )
+
     if not _results_identical(compiled_monitors, capture_monitors):
         raise ExperimentError(
             f"{scenario_name}: compiled and interpreted monitors disagree — "
@@ -236,6 +264,11 @@ def bench_scenario(
         "run_events_per_s": {
             mode: round(events / walls[mode], 1) if walls[mode] > 0 else None
             for mode in MODES
+        },
+        "counters": {
+            "compiled_counted_s": round(walls["compiled"], 4),
+            "compiled_uncounted_s": round(uncounted, 4) if uncounted else None,
+            "overhead_pct": counter_overhead_pct,
         },
         "checking": {
             "replayed_events": replayed,
@@ -295,6 +328,10 @@ def run_bench(
     replayed = sum(e["checking"]["replayed_events"] for e in entries.values())
     run_interp = sum(e["run_wall_s"]["interpreted"] for e in entries.values())
     run_comp = sum(e["run_wall_s"]["compiled"] for e in entries.values())
+    counted_s = sum(e["counters"]["compiled_counted_s"] for e in entries.values())
+    uncounted_s = sum(
+        e["counters"]["compiled_uncounted_s"] or 0.0 for e in entries.values()
+    )
     return {
         "bench": "run",
         "profile": profile,
@@ -314,6 +351,13 @@ def run_bench(
             else None,
             "run_speedup_with_checkers": round(run_interp / run_comp, 3)
             if run_comp > 0
+            else None,
+            # Cost of the default-on per-channel observation counters
+            # (compiled whole-run wall, counted vs REPRO_OBS_COUNTERS=off).
+            "counter_overhead_pct": round(
+                100.0 * (counted_s / uncounted_s - 1.0), 2
+            )
+            if uncounted_s > 0
             else None,
         },
     }
@@ -347,6 +391,12 @@ def render_bench_text(data: Dict) -> str:
         f"interpreted); whole-run speedup with checkers attached: "
         f"{totals['run_speedup_with_checkers']:.2f}x"
     )
+    overhead = totals.get("counter_overhead_pct")
+    if overhead is not None:
+        lines.append(
+            f"observation counters (default on): {overhead:+.1f}% whole-run "
+            f"wall vs REPRO_OBS_COUNTERS=off"
+        )
     return "\n".join(lines)
 
 
@@ -377,19 +427,112 @@ def compare_bench(
     new_totals = current.get("totals", {}).get("events_per_s_checking", {})
     for mode in ("interpreted", "compiled"):
         check(f"totals.{mode}", old_totals.get(mode), new_totals.get(mode))
+    # Walk the union of scenario keys: a scenario present on only one
+    # side (the default subset changed, or the catalog gained/lost an
+    # entry) is a note, not a crash — the numeric gate only applies
+    # where both artifacts measured the same thing.
     old_scenarios = baseline.get("scenarios", {})
-    for name, entry in current.get("scenarios", {}).items():
-        old_entry = old_scenarios.get(name)
-        if old_entry is None:
+    new_scenarios = current.get("scenarios", {})
+    for name in sorted(set(old_scenarios) | set(new_scenarios)):
+        if name not in new_scenarios:
+            warnings.append(
+                f"{name}: in baseline but not current run; skipping comparison"
+            )
             continue
-        # .get chains: a schema-drifted baseline skips the comparison
+        if name not in old_scenarios:
+            warnings.append(
+                f"{name}: in current run but not baseline; skipping comparison"
+            )
+            continue
+        # .get chains: a schema-drifted artifact skips the comparison
         # rather than failing the gate.
         check(
             f"{name}.compiled",
-            old_entry.get("checking", {}).get("compiled", {}).get("events_per_s"),
-            entry["checking"]["compiled"].get("events_per_s"),
+            old_scenarios[name].get("checking", {}).get("compiled", {})
+            .get("events_per_s"),
+            new_scenarios[name].get("checking", {}).get("compiled", {})
+            .get("events_per_s"),
         )
     return warnings
+
+
+def _frame_label(func: Tuple[str, int, str]) -> str:
+    """One collapsed-stack frame: ``file:line:name``, basename only.
+
+    Semicolons separate frames and the trailing space separates the
+    count in the folded format, so neither may appear inside a frame.
+    """
+    filename, lineno, name = func
+    base = os.path.basename(filename) if filename not in ("~", "") else "~"
+    label = f"{base}:{lineno}:{name}" if lineno else f"{base}:{name}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def collapsed_stacks(stats: pstats.Stats) -> List[str]:
+    """Caller;callee folded lines from cProfile stats, flamegraph-ready.
+
+    cProfile records caller/callee *pairs*, not full stacks, so each
+    line is a two-frame stack weighted by the cumulative microseconds
+    the callee spent under that caller — an approximation that still
+    surfaces where the hot loop's time pools.  Root (uncalled)
+    functions appear as single-frame lines.
+    """
+    lines: List[str] = []
+    for func, (_cc, _nc, _tt, ct, callers) in sorted(stats.stats.items()):
+        label = _frame_label(func)
+        if not callers:
+            weight = int(ct * 1e6)
+            if weight > 0:
+                lines.append(f"{label} {weight}")
+            continue
+        for caller, caller_stats in sorted(callers.items()):
+            weight = int(caller_stats[3] * 1e6)  # cumtime under this caller
+            if weight > 0:
+                lines.append(f"{_frame_label(caller)};{label} {weight}")
+    return lines
+
+
+def profile_kernel(
+    scenario_name: str = "flash_crowd",
+    profile: str = "bench",
+    top_n: int = 25,
+    stacks_path: Optional[str] = None,
+) -> Dict:
+    """Run one compiled-monitor simulation under cProfile.
+
+    The profiled workload is the same kernel hot loop ``repro bench``
+    times: the scenario's configuration with the full compiled-monitor
+    set attached.  Returns a dict with the top-``top_n``
+    cumulative-time table (``table``, pre-rendered text) and, when
+    ``stacks_path`` is given, writes caller;callee collapsed stacks
+    there for flamegraph tooling (see :func:`collapsed_stacks`).
+    """
+    config = bench_config(scenario_name, profile)
+    formulas = bench_formulas(scenario_name, span_for(profile))
+    monitors = [build_monitor(f, mode="compiled") for f in formulas]
+    run = SimulationRun(config, monitors=monitors)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run.run()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    stacks = collapsed_stacks(stats)
+    if stacks_path is not None:
+        with open(stacks_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(stacks) + ("\n" if stacks else ""))
+    return {
+        "scenario": scenario_name,
+        "profile": profile,
+        "top_n": top_n,
+        "events": _event_count(result),
+        "table": stream.getvalue(),
+        "stack_lines": len(stacks),
+        "stacks_path": stacks_path,
+    }
 
 
 def write_bench_json(data: Dict, path: str) -> None:

@@ -253,6 +253,12 @@ def _build_parser() -> argparse.ArgumentParser:
     study_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    study_parser.add_argument(
+        "--mem-gates",
+        action="store_true",
+        help="also gate candidates on the mem_* queue-pressure channels "
+        "(memory service-latency LOC assertions; see StudySpec.mem_gates)",
+    )
     _add_backend_args(study_parser)
 
     worker_parser = sub.add_parser(
@@ -341,6 +347,43 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress"
     )
+    bench_parser.add_argument(
+        "--profile-kernel",
+        nargs="?",
+        const="flash_crowd",
+        default=None,
+        metavar="SCENARIO",
+        help="instead of the benchmark, run one compiled-monitor "
+        "simulation under cProfile and print the top cumulative-time "
+        "table (default scenario: flash_crowd)",
+    )
+    bench_parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="rows in the --profile-kernel cumulative table (default: 25)",
+    )
+    bench_parser.add_argument(
+        "--profile-stacks",
+        default=None,
+        metavar="PATH",
+        help="with --profile-kernel: also write collapsed (folded) "
+        "stacks here for flamegraph tooling",
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="summarize or diff repro.obs metrics snapshots "
+        "(the JSONL files --metrics-out writes)",
+    )
+    metrics_parser.add_argument("snapshot", help="metrics snapshot JSONL path")
+    metrics_parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="BASELINE",
+        help="diff the snapshot against this baseline snapshot instead "
+        "of summarizing it",
+    )
 
     return parser
 
@@ -360,6 +403,21 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         help="with --backend distributed: HOST:PORT the coordinator listens "
         "on (port 0 picks a free port; workers join with "
         "'repro worker --connect HOST:PORT')",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the session's metrics snapshot (trace channel "
+        "counters, outcome tallies, backend telemetry) to this JSONL "
+        "file when the command finishes",
+    )
+    parser.add_argument(
+        "--early-abort",
+        action="store_true",
+        help="let streaming anomaly gates stop doomed jobs early "
+        "(aborted_early outcomes; changes job identity, so gated runs "
+        "never alias full-run caches)",
     )
 
 
@@ -410,12 +468,28 @@ def _run_session(args, backend=None) -> "Session":
     """
     from repro.api import ExecutionPolicy, Session, StorePolicy
 
+    early_abort = None
+    if getattr(args, "early_abort", False):
+        from repro.obs.gates import EarlyAbortPolicy
+
+        early_abort = EarlyAbortPolicy()
     return Session(
         execution=ExecutionPolicy(
-            backend=backend, workers=getattr(args, "workers", None)
+            backend=backend,
+            workers=getattr(args, "workers", None),
+            early_abort=early_abort,
         ),
         store=StorePolicy(path=getattr(args, "store", None)),
     )
+
+
+def _write_session_metrics(session, args, meta: dict) -> None:
+    """Honor ``--metrics-out`` after a sweep/study command finishes."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    session.write_metrics(path, meta=meta)
+    print(f"wrote metrics snapshot {path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -579,6 +653,7 @@ def _cmd_sweep(args) -> int:
         hooks=EventHooks(progress=None if args.quiet else progress_printer()),
     )
     print(summarize(outcomes))
+    _write_session_metrics(session, args, {"command": "sweep", "jobs": len(jobs)})
     return 0
 
 
@@ -622,6 +697,7 @@ def _cmd_study(args) -> int:
         duration_cycles=cycles_for(args.profile),
         span=span_for(args.profile),
         objective=args.objective,
+        mem_gates=args.mem_gates,
         **overrides,
     )
     spec.validate()
@@ -656,6 +732,9 @@ def _cmd_study(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(report, end="")
+    _write_session_metrics(
+        session, args, {"command": "study", "jobs": total_jobs}
+    )
     return 0
 
 
@@ -711,6 +790,27 @@ def _cmd_bench(args) -> int:
         render_bench_text,
         write_bench_json,
     )
+
+    if args.profile_kernel is not None:
+        from repro.bench import profile_kernel
+
+        report = profile_kernel(
+            scenario_name=args.profile_kernel,
+            profile=args.profile,
+            top_n=args.profile_top,
+            stacks_path=args.profile_stacks,
+        )
+        print(
+            f"profiled {report['scenario']} ({report['events']} events, "
+            f"profile={report['profile']})"
+        )
+        print(report["table"], end="")
+        if args.profile_stacks:
+            print(
+                f"wrote {report['stack_lines']} collapsed-stack lines to "
+                f"{args.profile_stacks}"
+            )
+        return 0
 
     scenarios = _split_csv(args.scenario) or None
 
@@ -774,6 +874,23 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from repro.obs.metrics import diff_snapshots, read_snapshot, summarize_snapshot
+
+    header, records = read_snapshot(args.snapshot)
+    if args.diff:
+        base_header, base_records = read_snapshot(args.diff)
+        meta = {k: v for k, v in header.items() if k not in ("schema", "version")}
+        print(f"metrics diff: {args.diff} -> {args.snapshot}")
+        if meta:
+            print("  " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+        output = diff_snapshots(base_records, records)
+        print(output if output else "no differences")
+    else:
+        print(summarize_snapshot(records))
+    return 0
+
+
 def _cmd_loc_gen(args) -> int:
     source = generate_analyzer_source(args.formula)
     if args.out:
@@ -804,6 +921,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

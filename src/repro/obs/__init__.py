@@ -1,0 +1,56 @@
+"""``repro.obs`` — metrics, run telemetry and streaming anomaly gates.
+
+The observation spine (:mod:`repro.trace.bus`) answers *what happened
+inside one run*; this package answers *what the system is doing* while
+sweeps, studies and worker fleets execute:
+
+* :mod:`repro.obs.metrics` — a lightweight metrics registry (counters,
+  gauges, fixed-edge histograms) with deterministic JSONL snapshot
+  export, merge and diff.  The ``repro metrics`` CLI renders and
+  compares snapshots.
+* :mod:`repro.obs.gates` — streaming anomaly gates that ride the
+  TraceBus and abort a doomed job early (``aborted_early`` partial
+  outcomes), opt-in via
+  :attr:`repro.api.policy.ExecutionPolicy.early_abort`.
+
+The JSONL snapshot schema is documented (and version-pinned) in
+``src/repro/obs/SCHEMA.md``; CI fails hard when
+:data:`~repro.obs.metrics.METRICS_SCHEMA_VERSION` changes without a
+matching SCHEMA.md update.
+"""
+
+from repro.obs.gates import (
+    AbortSignal,
+    CheckUnsatGate,
+    EarlyAbortPolicy,
+    LossRateGate,
+    RollingQuantileGate,
+    build_gates,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    read_snapshot,
+    summarize_snapshot,
+)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "AbortSignal",
+    "CheckUnsatGate",
+    "Counter",
+    "EarlyAbortPolicy",
+    "Gauge",
+    "Histogram",
+    "LossRateGate",
+    "MetricsRegistry",
+    "RollingQuantileGate",
+    "build_gates",
+    "diff_snapshots",
+    "read_snapshot",
+    "summarize_snapshot",
+]

@@ -104,6 +104,15 @@ class StudySpec:
         A candidate's loss fraction may exceed the scenario's ungoverned
         baseline loss by at most this much (absolute).  DVS must not
         make loss materially worse than the chip already suffers.
+    mem_gates:
+        Also gate candidates on the ``mem_sram``/``mem_sdram``
+        queue-pressure channels: every forwarded packet costs at least
+        one access to each, so ``span`` consecutive requests on either
+        controller must arrive within the same derived span-latency
+        bound — a governor that starves the memory pipeline fails the
+        gate even when packet forwarding limps along.  Off by default:
+        the extra checks subscribe previously unobserved named-only
+        channels and become part of every job's identity.
     """
 
     scenarios: Tuple[str, ...] = ()
@@ -119,6 +128,7 @@ class StudySpec:
     latency_slack: float = 2.0
     max_violation_fraction: float = 0.05
     loss_margin: float = 0.02
+    mem_gates: bool = False
     base: Dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> None:
@@ -181,7 +191,7 @@ class StudySpec:
     def assertions_for(self, scenario: Scenario) -> List[StudyAssertion]:
         """The LOC gates applied to every job of one scenario."""
         bound = self.latency_bound_us(scenario)
-        return [
+        assertions = [
             StudyAssertion(
                 name="span_latency",
                 formula=(
@@ -198,6 +208,24 @@ class StudySpec:
                 max_violation_fraction=0.0,
             ),
         ]
+        if self.mem_gates:
+            # Queue-pressure gates over the named-only memory channels.
+            # Every forwarded packet costs >= 1 access to each
+            # controller, so ``span`` consecutive requests are offered
+            # at least as fast as ``span`` packets — the span-latency
+            # bound applies a fortiori, with the same slack/tolerance.
+            for channel in ("mem_sram", "mem_sdram"):
+                assertions.append(
+                    StudyAssertion(
+                        name=f"{channel}_pace",
+                        formula=(
+                            f"time({channel}[i+{self.span}]) - "
+                            f"time({channel}[i]) <= {bound:.6g}"
+                        ),
+                        max_violation_fraction=self.max_violation_fraction,
+                    )
+                )
+        return assertions
 
     # -- job expansion ---------------------------------------------------
     def competing_policies(self) -> Tuple[str, ...]:

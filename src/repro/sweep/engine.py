@@ -35,7 +35,7 @@ from repro.loc.builtin import (
     throughput_distribution_formula,
 )
 from repro.loc.monitor import build_monitor
-from repro.runner import run_simulation
+from repro.runner import SimulationRun
 from repro.sweep.spec import Job, SweepSpec
 from repro.sweep.store import ResultStore, SweepOutcome
 
@@ -75,6 +75,17 @@ def run_job(job: Job) -> SweepOutcome:
     compiled by default, interpretive under
     ``REPRO_LOC_MONITOR=interpreted`` — with results proven identical
     either way (``tests/test_monitors.py``).
+
+    When the job carries an early-abort policy (``job.early_abort``),
+    streaming anomaly gates (:mod:`repro.obs.gates`) attach after the
+    monitors and may stop the simulator mid-run; the outcome then
+    reports ``result.aborted_early`` with partial totals.  Observed
+    runs additionally carry per-channel ``published`` event counts in
+    ``outcome.obs`` — only the observer-independent half of
+    :meth:`~repro.trace.bus.TraceBus.channel_stats`, so outcomes stay
+    byte-identical across backends *and* monitor modes (delivery/shed
+    accounting depends on subscriber topology, which differs between
+    compiled monitors and the interpreted wildcard-sink fallback).
     """
     config = job.run_config()
     power_monitor = throughput_monitor = None
@@ -92,7 +103,24 @@ def run_job(job: Job) -> SweepOutcome:
         build_monitor(check, expect="checker") for check in job.checks
     ]
     monitors = monitors + check_monitors
-    result = run_simulation(config, monitors=monitors)
+    gates = []
+    if job.early_abort:
+        from repro.obs.gates import EarlyAbortPolicy, build_gates
+
+        gates = build_gates(
+            EarlyAbortPolicy.from_dict(job.early_abort), check_monitors
+        )
+    run = SimulationRun(config, monitors=monitors, gates=gates)
+    result = run.run()
+    channel_stats = run.bus.channel_stats()
+    obs = None
+    if channel_stats:
+        obs = {
+            "channels": {
+                name: {"published": channel_stats[name]["published"]}
+                for name in sorted(channel_stats)
+            },
+        }
     return SweepOutcome(
         job_id=job.job_id,
         label=job.label,
@@ -100,6 +128,7 @@ def run_job(job: Job) -> SweepOutcome:
         power_dist=power_monitor.finish() if power_monitor else None,
         throughput_dist=throughput_monitor.finish() if throughput_monitor else None,
         check_results=[monitor.finish() for monitor in check_monitors],
+        obs=obs,
     )
 
 

@@ -38,6 +38,14 @@ class SweepOutcome:
     check_results: List[CheckResult] = field(default_factory=list)
     #: True when this outcome was loaded from a store instead of run.
     cached: bool = False
+    #: Run-level observability payload: per-channel ``published`` event
+    #: counts (the observer-independent half of
+    #: :meth:`repro.trace.bus.TraceBus.channel_stats` — delivery/shed
+    #: accounting varies with subscriber topology and stays bus-local);
+    #: ``None`` when counters were off or nothing subscribed.  Contents
+    #: are deterministic — event counts, never wall-clock — so outcomes
+    #: stay bit-identical across backends and monitor modes.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def mean_power_w(self) -> float:
@@ -62,8 +70,14 @@ class SweepOutcome:
 
     # -- dict round-trip ------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict form (one store line)."""
-        return {
+        """JSON-safe dict form (one store line).
+
+        The ``obs`` key is present only when an observability payload
+        was collected, so records of unobserved runs — and every store
+        written by an earlier release — keep their exact historical
+        shape.
+        """
+        record = {
             "job_id": self.job_id,
             "label": self.label,
             "result": _result_to_dict(self.result),
@@ -71,6 +85,9 @@ class SweepOutcome:
             "throughput_dist": _dist_to_dict(self.throughput_dist),
             "check_results": [check.to_dict() for check in self.check_results],
         }
+        if self.obs is not None:
+            record["obs"] = self.obs
+        return record
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepOutcome":
@@ -87,6 +104,7 @@ class SweepOutcome:
                     for check in data.get("check_results", [])
                 ],
                 cached=True,
+                obs=data.get("obs"),
             )
         except (KeyError, TypeError) as exc:
             raise ExperimentError(f"malformed sweep record: {exc!r}") from None
@@ -96,7 +114,7 @@ class SweepOutcome:
 # RunResult / DistributionResult <-> dict
 # ---------------------------------------------------------------------------
 def _result_to_dict(result: RunResult) -> Dict[str, Any]:
-    return {
+    record = {
         "config": result.config.to_dict(),
         "totals": asdict(result.totals),
         "governor_policy": result.governor_policy,
@@ -104,6 +122,12 @@ def _result_to_dict(result: RunResult) -> Dict[str, Any]:
         "governor_windows": result.governor_windows,
         "dvs_overhead_w": result.dvs_overhead_w,
     }
+    # Abort markers appear only on gated partial outcomes, keeping full
+    # runs' record shape (and byte identity) untouched.
+    if result.aborted_early:
+        record["aborted_early"] = True
+        record["abort_reason"] = result.abort_reason
+    return record
 
 
 def _result_from_dict(data: Dict[str, Any]) -> RunResult:
@@ -116,6 +140,8 @@ def _result_from_dict(data: Dict[str, Any]) -> RunResult:
         governor_transitions=data["governor_transitions"],
         governor_windows=data["governor_windows"],
         dvs_overhead_w=data["dvs_overhead_w"],
+        aborted_early=bool(data.get("aborted_early", False)),
+        abort_reason=data.get("abort_reason", ""),
     )
 
 

@@ -38,8 +38,9 @@ the same row.
 
 from __future__ import annotations
 
+import os
 from sys import intern
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import TraceError
 from repro.trace.annotations import AnnotationProvider
@@ -48,6 +49,17 @@ from repro.trace.events import TraceEvent
 #: One annotation snapshot, in :data:`~repro.trace.annotations.ANNOTATION_NAMES`
 #: order: ``(cycle, time, energy, total_pkt, total_bit)``.
 Row = Tuple[int, float, float, int, int]
+
+#: Environment switch for the default-on per-channel event counters
+#: (``off`` / ``0`` / ``false`` / ``no`` disables them).  The counters
+#: cost one integer increment per published event; the benchmark lane
+#: measures that overhead by comparing runs with the switch flipped.
+OBS_COUNTERS_ENV_VAR = "REPRO_OBS_COUNTERS"
+
+
+def _counting_default() -> bool:
+    value = os.environ.get(OBS_COUNTERS_ENV_VAR, "").strip().lower()
+    return value not in ("off", "0", "false", "no")
 
 #: A per-name tuple subscriber.
 TupleHandler = Callable[[Row], None]
@@ -76,14 +88,23 @@ class TraceBus:
         stamps each published event exactly once.
     """
 
-    def __init__(self, annotations: AnnotationProvider):
+    def __init__(self, annotations: AnnotationProvider, counting: bool = None):
         self._annotations = annotations
-        self._handlers: Dict[str, List[TupleHandler]] = {}
+        self._handlers: Dict[str, List[Tuple[TupleHandler, int]]] = {}
         self._sinks: List = []
         self._bound: Dict[str, Emitter] = {}
         #: Events dispatched to at least one subscriber (no-op emitter
         #: calls do not count: nothing was materialized for them).
         self.events_published = 0
+        #: Per-channel counter records, keyed by the binding key (one
+        #: record per bound emitter; :meth:`channel_stats` merges the
+        #: primary and named-only bindings of a name).
+        self._channels: Dict[str, Dict[str, Any]] = {}
+        #: Whether per-channel counters are live.  ``None`` defers to
+        #: ``REPRO_OBS_COUNTERS`` (default on); the bench overhead lane
+        #: passes ``False`` explicitly.  Counting never changes the
+        #: annotation read grid — it only adds integer increments.
+        self.counting = _counting_default() if counting is None else counting
 
     # ------------------------------------------------------------------
     # Subscription (before producers bind)
@@ -93,14 +114,30 @@ class TraceBus:
         """True once any producer bound an emitter."""
         return bool(self._bound)
 
-    def subscribe(self, name: str, handler: TupleHandler) -> None:
+    def subscribe(
+        self, name: str, handler: TupleHandler, sample: int = 1
+    ) -> None:
         """Subscribe a tuple handler to one event name.
 
         The handler is called with the bare annotation row; no
         :class:`TraceEvent` is allocated on its account.
+
+        ``sample=N`` subscribes at 1/N with a deterministic stride: the
+        handler sees the channel's first event and every N-th after it.
+        Sampling **never** moves the annotation settle grid — the bus
+        still snapshots the row at every event occurrence of a
+        subscribed name; a sampled handler merely skips its dispatch —
+        so numeric results are identical at any stride.  Skipped
+        dispatches are accounted as shed in :meth:`channel_stats`.
+        Structured sinks (:meth:`attach_sink`) are never sampled.
         """
         self._require_open(name)
-        self._handlers.setdefault(intern(name), []).append(handler)
+        sample = int(sample)
+        if sample < 1:
+            raise TraceError(
+                f"sample stride for {name!r} must be >= 1, got {sample}"
+            )
+        self._handlers.setdefault(intern(name), []).append((handler, sample))
 
     def attach_sink(self, sink) -> None:
         """Attach a structured (wildcard) sink with ``emit(TraceEvent)``."""
@@ -161,40 +198,141 @@ class TraceBus:
         emit = self._bound.get(key)
         if emit is not None:
             return emit
-        handlers = list(self._handlers.get(name, ()))
+        entries = list(self._handlers.get(name, ()))
         sinks = list(self._sinks) if to_sinks else []
-        if not handlers and not sinks:
+        if not entries and not sinks:
             if to_sinks and self.has_any_subscriber():
                 # An *observed* run historically read the annotations at
                 # every primary event occurrence, and the energy
                 # accountant's lazy integration makes that read grid
                 # part of the run's float identity.  Keep it: settle at
                 # this name's occurrences without materializing records.
-                emit = self._annotations.settle
+                emit = self._settle_emitter(key, name)
             else:
                 emit = NOOP_EMITTER
         else:
-            emit = self._make_emitter(name, handlers, sinks)
+            emit = self._make_emitter(key, name, entries, sinks)
         self._bound[key] = emit
         return emit
 
+    # -- per-channel counters --------------------------------------------
+    def _register_channel(
+        self, key: str, name: str, full: int, sampled: int, sinks: int
+    ) -> List[int]:
+        """The counter cell ``[published, sampled_deliveries]`` for one
+        bound emitter (created once per binding key)."""
+        record = {
+            "name": name,
+            "cell": [0, 0],
+            "full": full,
+            "sampled": sampled,
+            "sinks": sinks,
+        }
+        self._channels[key] = record
+        return record["cell"]
+
+    def channel_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-channel event accounting (empty when counting is off).
+
+        Maps each counted channel name to::
+
+            {"published": events the producer published,
+             "delivered": handler + sink dispatches that actually ran,
+             "shed":      dispatches skipped by sampled subscriptions}
+
+        Unobserved (no-op bound) channels never count — producers skip
+        them entirely, so there is nothing to account.  Settle-bound
+        channels count published events with zero deliveries: that is
+        the backpressure picture of a heavy channel nobody drains.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for record in self._channels.values():
+            published, sampled_delivered = record["cell"]
+            entry = stats.setdefault(
+                record["name"], {"published": 0, "delivered": 0, "shed": 0}
+            )
+            entry["published"] += published
+            entry["delivered"] += (
+                published * (record["full"] + record["sinks"])
+                + sampled_delivered
+            )
+            entry["shed"] += published * record["sampled"] - sampled_delivered
+        return stats
+
+    def _settle_emitter(self, key: str, name: str) -> Emitter:
+        settle = self._annotations.settle
+        if not self.counting:
+            return settle
+        cell = self._register_channel(key, name, full=0, sampled=0, sinks=0)
+
+        def emit() -> None:
+            cell[0] += 1
+            settle()
+
+        return emit
+
+    @staticmethod
+    def _wrap_sampled(handler: TupleHandler, sample: int, cell) -> TupleHandler:
+        """A 1/``sample`` deterministic-stride wrapper (first event in)."""
+        tick = [0]
+        if cell is None:
+
+            def wrapped(row: Row) -> None:
+                t = tick[0]
+                tick[0] = t + 1
+                if not t % sample:
+                    handler(row)
+
+        else:
+
+            def wrapped(row: Row) -> None:
+                t = tick[0]
+                tick[0] = t + 1
+                if not t % sample:
+                    cell[1] += 1
+                    handler(row)
+
+        return wrapped
+
     def _make_emitter(
-        self, name: str, handlers: List[TupleHandler], sinks: List
+        self, key: str, name: str, entries: List, sinks: List
     ) -> Emitter:
         snapshot = self._annotations.snapshot
+        cell = None
+        if self.counting:
+            full = sum(1 for _, sample in entries if sample == 1)
+            cell = self._register_channel(
+                key, name, full=full, sampled=len(entries) - full,
+                sinks=len(sinks),
+            )
+        handlers = [
+            handler if sample == 1 else self._wrap_sampled(handler, sample, cell)
+            for handler, sample in entries
+        ]
 
-        if handlers and not sinks and len(handlers) == 1:
+        if len(handlers) == 1 and not sinks:
             # The hottest shape: one compiled monitor on one name.
             handler = handlers[0]
 
-            def emit() -> None:
-                self.events_published += 1
-                handler(snapshot())
+            if cell is None:
+
+                def emit() -> None:
+                    self.events_published += 1
+                    handler(snapshot())
+
+            else:
+
+                def emit() -> None:
+                    self.events_published += 1
+                    cell[0] += 1
+                    handler(snapshot())
 
             return emit
 
         def emit() -> None:
             self.events_published += 1
+            if cell is not None:
+                cell[0] += 1
             row = snapshot()
             for handler in handlers:
                 handler(row)

@@ -68,11 +68,16 @@ class TestCompareBench:
         assert any("totals.compiled" in w for w in warnings)
         assert any("flash_crowd.compiled" in w for w in warnings)
 
-    def test_new_scenarios_ignored(self):
+    def test_new_scenarios_warn_and_skip(self):
         old = _artifact()
         new = _artifact()
         new["scenarios"]["brand_new"] = new["scenarios"]["flash_crowd"]
-        assert compare_bench(old, new, tolerance=0.20) == []
+        warnings = compare_bench(old, new, tolerance=0.20)
+        # One-sided scenarios are noted, never compared (no KeyError,
+        # no false regression) -- and symmetric keys stay clean.
+        assert warnings == [
+            "brand_new: in current run but not baseline; skipping comparison"
+        ]
 
     def test_missing_values_ignored(self):
         old = _artifact()

@@ -151,6 +151,151 @@ class TestTraceBus:
         assert bus.has_any_subscriber()
 
 
+class TestSampling:
+    def test_sampled_handler_deterministic_stride(self):
+        bus = TraceBus(_StubAnnotations())
+        rows = []
+        bus.subscribe("forward", rows.append, sample=3)
+        emit = bus.emitter("forward")
+        for _ in range(10):
+            emit()
+        # First event in, then every 3rd: occurrences 1, 4, 7, 10.
+        assert [row[0] for row in rows] == [1, 4, 7, 10]
+
+    def test_bad_sample_stride_rejected(self):
+        bus = TraceBus(_StubAnnotations())
+        with pytest.raises(TraceError):
+            bus.subscribe("forward", lambda row: None, sample=0)
+
+    def test_sampling_never_applies_to_wildcard_sinks(self):
+        bus = TraceBus(_StubAnnotations())
+        rows = []
+        buffer = TraceBuffer()
+        bus.subscribe("forward", rows.append, sample=4)
+        bus.attach_sink(buffer)
+        emit = bus.emitter("forward")
+        for _ in range(8):
+            emit()
+        # The legacy emit(TraceEvent) sink saw every event ...
+        assert len(buffer.events) == 8
+        # ... while the sampled tuple handler saw 1/4 of them.
+        assert len(rows) == 2
+
+    def test_sampling_does_not_move_the_snapshot_grid(self):
+        # The row is snapshotted at EVERY event of a subscribed name;
+        # a sampled handler merely skips dispatch.  The rows it does
+        # see are therefore identical to an unsampled subscriber's at
+        # the same occurrences.
+        annotations = _StubAnnotations()
+        bus = TraceBus(annotations)
+        sampled = []
+        bus.subscribe("forward", sampled.append, sample=2)
+        emit = bus.emitter("forward")
+        for _ in range(6):
+            emit()
+        assert annotations.snapshots == 6
+        assert [row[0] for row in sampled] == [1, 3, 5]
+
+    def test_sampling_does_not_change_settle_points(self):
+        # Settle probes for unsubscribed primary names fire exactly as
+        # they do with an unsampled subscriber: the annotation read
+        # grid is part of the run's float identity.
+        annotations = _StubAnnotations()
+        bus = TraceBus(annotations)
+        bus.subscribe("forward", lambda row: None, sample=100)
+        fifo = bus.emitter("fifo")
+        assert fifo is not NOOP_EMITTER
+        for _ in range(5):
+            fifo()
+        assert annotations.settles == 5
+        assert annotations.snapshots == 0
+
+    def test_sampled_and_full_handlers_coexist(self):
+        bus = TraceBus(_StubAnnotations())
+        full, sampled = [], []
+        bus.subscribe("forward", full.append)
+        bus.subscribe("forward", sampled.append, sample=5)
+        emit = bus.emitter("forward")
+        for _ in range(10):
+            emit()
+        assert len(full) == 10
+        assert len(sampled) == 2
+        assert bus.events_published == 10
+
+    def test_sampled_run_results_identical(self):
+        # End to end: a run observed through a sampled subscription is
+        # numerically identical to one observed at full rate.
+        full_run = SimulationRun(quick_config())
+        full_run.bus.subscribe("forward", lambda row: None)
+        full_result = full_run.run()
+        sampled_rows = []
+        sampled_run = SimulationRun(quick_config())
+        sampled_run.bus.subscribe("forward", sampled_rows.append, sample=16)
+        sampled_result = sampled_run.run()
+        import dataclasses
+
+        assert dataclasses.asdict(sampled_result.totals) == (
+            dataclasses.asdict(full_result.totals)
+        )
+        assert sampled_run.bus.events_published == (
+            full_run.bus.events_published
+        )
+        assert 0 < len(sampled_rows) < full_run.bus.events_published
+
+
+class TestChannelStats:
+    def test_counting_off_yields_no_stats(self):
+        bus = TraceBus(_StubAnnotations(), counting=False)
+        bus.subscribe("forward", lambda row: None)
+        bus.emitter("forward")()
+        assert bus.channel_stats() == {}
+
+    def test_published_delivered_shed_accounting(self):
+        bus = TraceBus(_StubAnnotations(), counting=True)
+        bus.subscribe("forward", lambda row: None)
+        bus.subscribe("forward", lambda row: None, sample=4)
+        emit = bus.emitter("forward")
+        for _ in range(8):
+            emit()
+        stats = bus.channel_stats()
+        assert stats["forward"]["published"] == 8
+        # 8 full deliveries + 2 sampled deliveries (events 1 and 5).
+        assert stats["forward"]["delivered"] == 10
+        assert stats["forward"]["shed"] == 6
+
+    def test_settle_channels_count_published_only(self):
+        bus = TraceBus(_StubAnnotations(), counting=True)
+        bus.subscribe("forward", lambda row: None)
+        fifo = bus.emitter("fifo")
+        for _ in range(3):
+            fifo()
+        stats = bus.channel_stats()
+        assert stats["fifo"] == {"published": 3, "delivered": 0, "shed": 0}
+
+    def test_noop_channels_never_counted(self):
+        bus = TraceBus(_StubAnnotations(), counting=True)
+        emit = bus.emitter("forward")
+        assert emit is NOOP_EMITTER
+        emit()
+        assert bus.channel_stats() == {}
+
+    def test_counting_does_not_change_events_published(self):
+        for counting in (False, True):
+            bus = TraceBus(_StubAnnotations(), counting=counting)
+            bus.subscribe("forward", lambda row: None)
+            emit = bus.emitter("forward")
+            for _ in range(5):
+                emit()
+            assert bus.events_published == 5
+
+    def test_env_var_disables_counting(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_COUNTERS", "off")
+        bus = TraceBus(_StubAnnotations())
+        assert bus.counting is False
+        monkeypatch.delenv("REPRO_OBS_COUNTERS")
+        assert TraceBus(_StubAnnotations()).counting is True
+
+
 class TestChipWiring:
     def test_unobserved_run_publishes_nothing(self):
         run = SimulationRun(quick_config())
