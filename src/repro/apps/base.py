@@ -95,6 +95,14 @@ class AppModel:
     #: Benchmark name (matches ``RunConfig.benchmark``).
     name = "base"
 
+    #: Whether the rx/tx step streams are *pure* — per-packet side
+    #: effects limited to commutative counters — so the microengine may
+    #: materialize (and fuse) them eagerly at packet bind.  Apps whose
+    #: streams mutate order-sensitive shared state (NAT's translation
+    #: table, the detailed interpreter) must leave these False.
+    materialize_rx = False
+    materialize_tx = False
+
     def __init__(self, resources: AppResources, profile: Optional[AppProfile] = None):
         self.resources = resources
         self.profile = profile or AppProfile()

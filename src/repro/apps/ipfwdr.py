@@ -55,6 +55,11 @@ class IpfwdrApp(AppModel):
 
     name = "ipfwdr"
 
+    # Pure streams: trie lookups are read-only and the per-packet
+    # counters commute, so both sides may be materialized and fused.
+    materialize_rx = True
+    materialize_tx = True
+
     def __init__(self, resources: AppResources, profile=None):
         super().__init__(resources, profile or IPFWDR_PROFILE)
         if resources.routing_trie is None:

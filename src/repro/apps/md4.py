@@ -55,6 +55,8 @@ class Md4App(AppModel):
 
     name = "md4"
 
+    materialize_tx = True
+
     def __init__(
         self,
         resources: AppResources,
@@ -65,6 +67,10 @@ class Md4App(AppModel):
         #: When true, actually hash each packet's payload (slow; used by
         #: detailed runs and tests rather than the big sweeps).
         self.compute_real_digests = compute_real_digests
+        # ``blocks_hashed`` commutes, but ``last_digest`` depends on
+        # packet completion order, so the rx stream is only pure (and
+        # materializable) when real digests are off.
+        self.materialize_rx = not compute_real_digests
         self.blocks_hashed = 0
         self.last_digest: Optional[bytes] = None
 

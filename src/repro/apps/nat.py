@@ -49,6 +49,11 @@ class NatApp(AppModel):
 
     name = "nat"
 
+    # The rx stream allocates translation-table entries as it runs, and
+    # entry order is observable across interleaved packets — rx must stay
+    # lazy.  The tx skeleton is pure.
+    materialize_tx = True
+
     def __init__(self, resources: AppResources, profile=None):
         super().__init__(resources, profile or NAT_PROFILE)
         if resources.nat_table is None:

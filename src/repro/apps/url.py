@@ -56,6 +56,11 @@ class UrlApp(AppModel):
 
     name = "url"
 
+    # Pure streams: pattern scans only bump commutative counters and the
+    # route choice is a pure function of the packet.
+    materialize_rx = True
+    materialize_tx = True
+
     def __init__(self, resources: AppResources, profile=None):
         super().__init__(resources, profile or URL_PROFILE)
         self._route_rng = resources.rng_streams.get("apps.url.routes")

@@ -204,6 +204,7 @@ class NpuChip:
                     ctx_switch_cycles=npu.ctx_switch_cycles,
                     on_put_tx=self._on_put_tx,
                     on_drop=self._on_drop,
+                    materialize=self.app.materialize_rx,
                 )
             else:
                 pos = tx_position[me_index]
@@ -221,6 +222,7 @@ class NpuChip:
                     ctx_switch_cycles=npu.ctx_switch_cycles,
                     on_packet_done=self._on_tx_done,
                     on_drop=self._on_drop,
+                    materialize=self.app.materialize_tx,
                 )
             self.accountant.attach_me(me)
             self.mes.append(me)

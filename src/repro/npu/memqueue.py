@@ -117,7 +117,7 @@ class QueuedResource:
         if self._trace_emit is not None:
             self._trace_emit()
 
-        self.sim.schedule_at(done, callback, *args)
+        self.sim.post_at(done, callback, *args)
         return done
 
     # ------------------------------------------------------------------

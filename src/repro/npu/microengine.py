@@ -22,12 +22,24 @@ produce the same vocabulary, so they share this engine.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Iterator, List, Optional
+from itertools import chain
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 from repro.errors import NpuError, SimulationError
-from repro.npu.steps import Compute, Drop, MemPost, MemRead, MemWrite, PutTx, Step
+from repro.npu.steps import (
+    OP_COMPUTE,
+    OP_DROP,
+    OP_FUSED_COMPUTE,
+    OP_MEM_BLOCKING,
+    OP_MEM_POST,
+    OP_PUT_TX,
+    Compute,
+    FusedCompute,
+    Step,
+    materialize_steps,
+)
 from repro.sim.clock import ClockDomain
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Event, Simulator
 from repro.sim.stats import IntervalAccumulator
 from repro.traffic.packet import Packet
 
@@ -104,6 +116,18 @@ class Microengine:
         (transmit-side MEs hand the packet to the wire here).
     on_drop:
         Chip hook for :class:`~repro.npu.steps.Drop` steps.
+    materialize:
+        List out each packet's step stream at bind time instead of
+        resuming the app generator per step.  Valid only for pure
+        streams (``AppModel.materialize_rx`` / ``materialize_tx``);
+        execution is bit-identical to lazy iteration.
+    fuse:
+        With ``materialize``, additionally collapse adjacent computes
+        into single completion events.  Per-ME observables stay exact,
+        but equal-picosecond event ties against other components may
+        resolve differently than unfused execution, so full-system
+        byte-reproducibility is only guaranteed with ``fuse=False``
+        (the default; see ``_fuse`` below).
     """
 
     def __init__(
@@ -122,6 +146,8 @@ class Microengine:
         on_put_tx: Optional[Callable[[Packet], None]] = None,
         on_packet_done: Optional[Callable[[Packet], None]] = None,
         on_drop: Optional[Callable[[Packet, str], None]] = None,
+        materialize: bool = False,
+        fuse: bool = False,
     ):
         if role not in ("rx", "tx"):
             raise NpuError(f"role must be 'rx' or 'tx', got {role!r}")
@@ -166,6 +192,31 @@ class Microengine:
         self._zero_time_ops = 0
         self._started = False
 
+        #: Materialize step streams at packet bind.  Only set for
+        #: applications whose streams are pure (``materialize_rx`` /
+        #: ``materialize_tx`` on the app model).
+        self._materialize = materialize
+        #: Additionally fuse adjacent computes into single completion
+        #: events.  Opt-in only: per-ME timing and counters are exact
+        #: (see tests/test_fastpath.py), but a fused block's completion
+        #: event draws its kernel sequence number at block start, so
+        #: equal-picosecond ties against *other* components can resolve
+        #: in a different order than unfused execution — full-system
+        #: runs are deterministic but not bit-identical to unfused ones.
+        self._fuse = fuse and materialize
+        #: In-flight fused-compute plan: ``(handle, boundaries, parts,
+        #: thread)`` where ``boundaries`` are the absolute per-part
+        #: completion times.  At most one exists (a single thread
+        #: computes at a time); stalls, frequency changes and run end
+        #: re-plan it back into per-part form so every observable matches
+        #: the unfused execution exactly.
+        self._fused_plan: Optional[
+            Tuple[Event, List[int], tuple, _HwThread]
+        ] = None
+        if self._fuse:
+            clock.on_change.append(self._replan_fused)
+            sim.on_run_end.append(self._settle_fused)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -201,7 +252,12 @@ class Microengine:
         self._stalled = True
         if end > self._stall_until_ps:
             self._stall_until_ps = end
-            self.sim.schedule_at(end, self._maybe_unstall, end)
+            self.sim.post_at(end, self._maybe_unstall, end)
+        if self._fused_plan is not None:
+            # A fused compute block is in flight: fall back to per-part
+            # completions so the thread parks at the same instant (and
+            # with the same instruction count) as unfused execution.
+            self._replan_fused()
         if self._current is None:
             # Nothing mid-compute: the engine freezes as of now; an
             # in-flight compute instead parks its thread on completion.
@@ -238,30 +294,35 @@ class Microengine:
     def _continue(self, thread: _HwThread) -> None:
         """Run ``thread`` until it schedules a timed action or blocks."""
         while True:
-            if thread.step_iter is None:
+            step_iter = thread.step_iter
+            if step_iter is None:
                 if self._acquire(thread):
                     continue  # packet bound; execute its steps
                 return  # polling: a timed wait was scheduled
-            step = next(thread.step_iter, None)
+            step = next(step_iter, None)
             if step is None:
                 self._finish_packet(thread)
                 continue
-            if isinstance(step, Compute):
+            op = step.op
+            if op == OP_COMPUTE:
                 self._run_compute(thread, step.instructions)
                 return
-            if isinstance(step, MemPost):
+            if op == OP_MEM_BLOCKING:
+                self._issue_memory(thread, step)
+                return
+            if op == OP_MEM_POST:
                 self._count_zero_time()
                 self._post_memory(step)
                 continue
-            if isinstance(step, (MemRead, MemWrite)):
-                self._issue_memory(thread, step)
+            if op == OP_FUSED_COMPUTE:
+                self._run_fused(thread, step)
                 return
-            if isinstance(step, PutTx):
+            if op == OP_PUT_TX:
                 self._count_zero_time()
                 if self.on_put_tx is not None and thread.packet is not None:
                     self.on_put_tx(thread.packet)
                 continue
-            if isinstance(step, Drop):
+            if op == OP_DROP:
                 self._count_zero_time()
                 if self.on_drop is not None and thread.packet is not None:
                     self.on_drop(thread.packet, step.reason)
@@ -275,7 +336,22 @@ class Microengine:
         if packet is not None:
             self._zero_time_ops = 0
             thread.packet = packet
-            thread.step_iter = self.make_steps(packet)
+            steps = self.make_steps(packet)
+            if self._materialize:
+                # Pure stream: list it out (C-speed iteration) and fuse
+                # adjacent computes — unless a per-block observer needs
+                # the original block boundaries.
+                steps = iter(
+                    materialize_steps(
+                        steps,
+                        fuse=(
+                            self._fuse
+                            and self.pipeline_emitter is None
+                            and self.on_instructions is None
+                        ),
+                    )
+                )
+            thread.step_iter = steps
             return True
         # Busy-poll: burn cycles checking queues, then let the next
         # ready thread have the engine (round-robin).
@@ -289,7 +365,7 @@ class Microengine:
         if self.poll_counts_as_idle:
             # Ablation accounting: treat the poll loop as idle time.
             self._set_state(IDLE)
-        self.sim.schedule(delay, self._poll_done, thread)
+        self.sim.post(delay, self._poll_done, thread)
         return False
 
     def _run_compute(self, thread: _HwThread, instructions: int) -> None:
@@ -300,7 +376,30 @@ class Microengine:
         if self.on_instructions is not None:
             self.on_instructions(self.index, instructions)
         delay = self.clock.delay_for_cycles(instructions)
-        self.sim.schedule(delay, self._compute_done, thread)
+        self.sim.post(delay, self._compute_done, thread)
+
+    def _run_fused(self, thread: _HwThread, step: FusedCompute) -> None:
+        """Execute a fused compute block with one completion event.
+
+        Instructions are charged up front (each part would be charged at
+        its start anyway, and the block is uninterruptible except by the
+        re-plan paths, which refund un-started parts).  The delay is the
+        sum of per-part delays so rounding matches unfused execution.
+        """
+        self._zero_time_ops = 0
+        self.instructions_executed += step.instructions
+        if self.pipeline_emitter is not None:
+            self.pipeline_emitter()
+        if self.on_instructions is not None:
+            self.on_instructions(self.index, step.instructions)
+        delay_for_cycles = self.clock.delay_for_cycles
+        t = self.sim.now_ps
+        bounds: List[int] = []
+        for part in step.parts:
+            t += delay_for_cycles(part)
+            bounds.append(t)
+        handle = self.sim.schedule_at(t, self._fused_done, thread)
+        self._fused_plan = (handle, bounds, step.parts, thread)
 
     def _post_memory(self, step) -> None:
         try:
@@ -327,7 +426,7 @@ class Microengine:
         # Context switch burns engine cycles before the next dispatch.
         if self.ctx_switch_cycles > 0 and (self._ready or not self._stalled):
             delay = self.clock.delay_for_cycles(self.ctx_switch_cycles)
-            self.sim.schedule(delay, self._dispatch)
+            self.sim.post(delay, self._dispatch)
         else:
             self._dispatch()
 
@@ -346,6 +445,74 @@ class Microengine:
             self._set_state(STALLED)
             return
         self._continue(thread)
+
+    def _fused_done(self, thread: _HwThread) -> None:
+        self._fused_plan = None
+        self._compute_done(thread)
+
+    def _replan_fused(self) -> None:
+        """Split an in-flight fused block back into per-part execution.
+
+        Called when a stall or frequency change interrupts the block.
+        The part in flight *now* keeps its already-scheduled timing (an
+        unfused compute's delay is likewise fixed at issue); un-started
+        parts are refunded and re-queued as ordinary steps, so they are
+        re-charged and re-timed exactly as unfused execution would.  The
+        boundary search is non-strict (``bounds[j] >= now``) because a
+        part completing at this very picosecond has not fired yet.
+        """
+        plan = self._fused_plan
+        if plan is None:
+            return
+        self._fused_plan = None
+        handle, bounds, parts, thread = plan
+        handle.cancel()
+        now = self.sim.now_ps
+        j = 0
+        while bounds[j] < now:
+            j += 1
+        rest = parts[j + 1 :]
+        if rest:
+            self.instructions_executed -= sum(rest)
+            follow: Step = (
+                FusedCompute(rest) if len(rest) >= 2 else Compute(rest[0])
+            )
+            thread.step_iter = chain((follow,), thread.step_iter)
+        self.sim.post_at(bounds[j], self._compute_done, thread)
+
+    def _settle_fused(self) -> None:
+        """Reconcile counters when a run ends mid-fused-block.
+
+        Unfused execution charges each part at its *start*, so at run end
+        a part that has not started yet is uncharged.  The search here is
+        strict (``bounds[j] > now``): events at exactly ``until_ps`` have
+        already fired, so a part completing now is finished and its
+        successor (starting now) is charged.  The re-queued remainder
+        keeps a resumed run bit-identical to unfused execution.
+        """
+        plan = self._fused_plan
+        if plan is None:
+            return
+        handle, bounds, parts, thread = plan
+        self._fused_plan = None
+        now = self.sim.now_ps
+        if bounds[-1] <= now:
+            # Aborted (``stop()``) at or past the block's end: every part
+            # started, all charges stand, and the queued completion event
+            # finishes the block if the run resumes.
+            return
+        handle.cancel()
+        j = 0
+        while bounds[j] <= now:
+            j += 1
+        rest = parts[j + 1 :]
+        if rest:
+            self.instructions_executed -= sum(rest)
+            follow: Step = (
+                FusedCompute(rest) if len(rest) >= 2 else Compute(rest[0])
+            )
+            thread.step_iter = chain((follow,), thread.step_iter)
+        self.sim.post_at(bounds[j], self._compute_done, thread)
 
     def _mem_done(self, thread: _HwThread) -> None:
         thread.waiting = False

@@ -34,6 +34,10 @@ class PacketBufferPool:
         self.buffer_bytes = buffer_bytes
         self.num_buffers = total_bytes // buffer_bytes
         self._free: List[int] = list(range(self.num_buffers - 1, -1, -1))
+        # Free-membership mask mirroring ``_free``: the double-free check
+        # must not scan the freelist (it held tens of thousands of
+        # handles and dominated the release hot path).
+        self._free_mask = bytearray(b"\x01") * self.num_buffers
         self.allocations = 0
         self.failures = 0
         self.peak_in_use = 0
@@ -54,6 +58,7 @@ class PacketBufferPool:
             self.failures += 1
             return None
         handle = self._free.pop()
+        self._free_mask[handle] = 0
         self.allocations += 1
         if self.in_use > self.peak_in_use:
             self.peak_in_use = self.in_use
@@ -67,8 +72,9 @@ class PacketBufferPool:
         """
         if not 0 <= handle < self.num_buffers:
             raise MemoryModelError(f"bad buffer handle {handle}")
-        if handle in self._free:
+        if self._free_mask[handle]:
             raise MemoryModelError(f"double free of buffer {handle}")
+        self._free_mask[handle] = 1
         self._free.append(handle)
 
     def address_of(self, handle: int) -> int:

@@ -60,7 +60,7 @@ class DevicePort:
         self._tx_free_at_ps = done
         self.tx_packets += 1
         self.tx_bits += packet.size_bits
-        self.sim.schedule_at(done, on_done, packet)
+        self.sim.post_at(done, on_done, packet)
         return done
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -17,10 +17,21 @@ modes share the microengine runtime.
 
 from __future__ import annotations
 
+from typing import Iterable, List
+
 from repro.errors import NpuError
 
 #: Memory targets a step may reference.
 MEMORY_TARGETS = ("sram", "sdram", "scratch")
+
+#: Step dispatch codes: the microengine arbiter branches on ``step.op``
+#: (one attribute load + int compare) instead of an isinstance chain.
+OP_COMPUTE = 0
+OP_FUSED_COMPUTE = 1
+OP_MEM_BLOCKING = 2
+OP_MEM_POST = 3
+OP_PUT_TX = 4
+OP_DROP = 5
 
 
 class Step:
@@ -28,11 +39,16 @@ class Step:
 
     __slots__ = ()
 
+    #: Dispatch code (see ``OP_*``); subclasses override.
+    op = -1
+
 
 class Compute(Step):
     """Run ``instructions`` back-to-back single-cycle instructions."""
 
     __slots__ = ("instructions",)
+
+    op = OP_COMPUTE
 
     def __init__(self, instructions: int):
         if instructions <= 0:
@@ -41,6 +57,34 @@ class Compute(Step):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Compute({self.instructions})"
+
+
+class FusedCompute(Step):
+    """A run of consecutive :class:`Compute` steps executed as one block.
+
+    Produced by :func:`materialize_steps`; applications never yield it
+    directly.  The block schedules a single completion event whose delay
+    is the *sum of the per-part delays* (each part rounded separately),
+    so its timing is bit-identical to executing the parts back to back.
+    The microengine re-plans an in-flight block when a stall or frequency
+    change interrupts it (see ``Microengine._replan_fused``).
+    """
+
+    __slots__ = ("instructions", "parts")
+
+    op = OP_FUSED_COMPUTE
+
+    def __init__(self, parts: Iterable[int]):
+        parts = tuple(parts)
+        if len(parts) < 2:
+            raise NpuError(f"FusedCompute needs at least two parts, got {parts!r}")
+        if any(p <= 0 for p in parts):
+            raise NpuError(f"FusedCompute parts must be positive, got {parts!r}")
+        self.parts = parts
+        self.instructions = sum(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FusedCompute({self.parts!r})"
 
 
 class _MemStep(Step):
@@ -63,11 +107,15 @@ class MemRead(_MemStep):
 
     __slots__ = ()
 
+    op = OP_MEM_BLOCKING
+
 
 class MemWrite(_MemStep):
     """Blocking write of ``nbytes`` to a memory target."""
 
     __slots__ = ()
+
+    op = OP_MEM_BLOCKING
 
 
 class MemPost(_MemStep):
@@ -81,11 +129,15 @@ class MemPost(_MemStep):
 
     __slots__ = ()
 
+    op = OP_MEM_POST
+
 
 class PutTx(Step):
     """Enqueue the in-flight packet's descriptor for transmission."""
 
     __slots__ = ()
+
+    op = OP_PUT_TX
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "PutTx()"
@@ -96,8 +148,47 @@ class Drop(Step):
 
     __slots__ = ("reason",)
 
+    op = OP_DROP
+
     def __init__(self, reason: str = "app"):
         self.reason = reason
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Drop({self.reason!r})"
+
+
+def materialize_steps(stream: Iterable[Step], fuse: bool = True) -> List[Step]:
+    """List out a step stream, optionally fusing consecutive computes.
+
+    Materialization runs the generator to exhaustion up front, so it is
+    only valid for *pure* streams — apps whose per-packet side effects
+    are commutative counters (see ``AppModel.materialize_rx``).  The
+    returned list iterates at C speed in the arbiter loop instead of
+    resuming a generator per step.
+
+    With ``fuse``, maximal runs of two or more adjacent :class:`Compute`
+    steps collapse into one :class:`FusedCompute`; single computes keep
+    their original objects.
+    """
+    steps = list(stream)
+    if not fuse:
+        return steps
+    out: List[Step] = []
+    run: List[Compute] = []
+    for step in steps:
+        if step.__class__ is Compute:
+            run.append(step)
+            continue
+        if run:
+            if len(run) == 1:
+                out.append(run[0])
+            else:
+                out.append(FusedCompute(c.instructions for c in run))
+            run = []
+        out.append(step)
+    if run:
+        if len(run) == 1:
+            out.append(run[0])
+        else:
+            out.append(FusedCompute(c.instructions for c in run))
+    return out

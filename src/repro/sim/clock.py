@@ -17,7 +17,7 @@ Two kinds of clocks appear in the NPU model:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ClockError
 from repro.sim.kernel import Simulator
@@ -55,6 +55,16 @@ class ClockDomain:
         # Segments of constant frequency: (start_ps, freq_hz, cycles_at_start).
         self._segments: List[Tuple[int, float, float]] = [(sim.now_ps, float(freq_hz), 0.0)]
         self._freq_changes = 0
+        # Current-segment caches, invalidated by set_frequency: the
+        # frequency itself (saves the list indexing on every conversion)
+        # and the exact delay_for_cycles result per cycle count.  The
+        # cache stores the *rounded* value, so a hit reproduces the
+        # uncached arithmetic bit for bit.
+        self._freq_hz = float(freq_hz)
+        self._delay_cache: Dict[float, int] = {}
+        #: Called (no arguments) after every applied frequency change;
+        #: microengines subscribe to re-plan in-flight fused computes.
+        self.on_change: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Frequency control
@@ -62,7 +72,7 @@ class ClockDomain:
     @property
     def freq_hz(self) -> float:
         """Current frequency in hertz."""
-        return self._segments[-1][1]
+        return self._freq_hz
 
     @property
     def period_ps(self) -> int:
@@ -83,7 +93,7 @@ class ClockDomain:
         """
         if freq_hz <= 0:
             raise ClockError(f"clock {self.name!r}: frequency must be positive")
-        if freq_hz == self.freq_hz:
+        if freq_hz == self._freq_hz:
             return
         now = self.sim.now_ps
         cycles_now = self.cycles_at(now)
@@ -94,6 +104,10 @@ class ClockDomain:
         else:
             self._segments.append((now, float(freq_hz), cycles_now))
         self._freq_changes += 1
+        self._freq_hz = float(freq_hz)
+        self._delay_cache.clear()
+        for listener in self.on_change:
+            listener()
 
     # ------------------------------------------------------------------
     # Cycle / time conversion
@@ -114,9 +128,14 @@ class ClockDomain:
 
     def delay_for_cycles(self, cycles: float) -> int:
         """Picoseconds spanned by ``cycles`` cycles at the *current* rate."""
+        cached = self._delay_cache.get(cycles)
+        if cached is not None:
+            return cached
         if cycles < 0:
             raise ClockError(f"clock {self.name!r}: negative cycle count {cycles}")
-        return round(cycles * PS_PER_S / self.freq_hz)
+        delay = round(cycles * PS_PER_S / self._freq_hz)
+        self._delay_cache[cycles] = delay
+        return delay
 
     def time_of_cycle(self, cycle: float) -> int:
         """Absolute time (ps) at which the given cycle count is reached.

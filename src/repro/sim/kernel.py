@@ -6,23 +6,37 @@ ordering exact: two events scheduled for the same picosecond are delivered
 in scheduling order (a monotonically increasing sequence number breaks
 ties), so simulations are bit-reproducible for a given seed.
 
-Components interact with the kernel exclusively through
-:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`, which return an
-:class:`Event` handle that may be cancelled.  There is no implicit global
-simulator; every model object receives the :class:`Simulator` it belongs
-to, so several simulations can coexist in one process (the experiment
-sweeps rely on this).
+Heap entries are plain ``(time_ps, seq, callback, args)`` tuples, so the
+hot path pays C-speed tuple comparisons instead of a Python ``__lt__``
+per sift.  Cancellation rides a side table: :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` return an :class:`Event` handle whose
+``cancel()`` records the entry's sequence number in a set the run loop
+consults only while it is non-empty.  Components that never cancel (the
+model hot paths) use :meth:`Simulator.post` / :meth:`Simulator.post_at`,
+which skip the handle allocation entirely.
+
+There is no implicit global simulator; every model object receives the
+:class:`Simulator` it belongs to, so several simulations can coexist in
+one process (the experiment sweeps rely on this).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 
 #: Callback signature for scheduled events.
 EventCallback = Callable[..., None]
+
+#: Heap entry: ``(time_ps, seq, callback, args)``.  Sequence numbers are
+#: unique, so tuple comparison never reaches the callback field.
+_Entry = Tuple[int, int, EventCallback, tuple]
+
+#: Cancelled-set size past which the run loop compacts the heap instead
+#: of skipping entries one pop at a time.
+_COMPACT_THRESHOLD = 256
 
 
 class Event:
@@ -32,27 +46,20 @@ class Event:
     them or inspects :attr:`time_ps`.
     """
 
-    __slots__ = ("time_ps", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time_ps", "seq", "cancelled", "_sim")
 
-    def __init__(self, time_ps: int, seq: int, callback: EventCallback, args: tuple):
+    def __init__(self, time_ps: int, seq: int, sim: "Simulator"):
         self.time_ps = time_ps
         self.seq = seq
-        self.callback: Optional[EventCallback] = callback
-        self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event's callback never runs."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        # Drop references eagerly so cancelled events awaiting their heap
-        # turn do not pin large object graphs (packets, traces) in memory.
-        self.callback = None
-        self.args = ()
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time_ps != other.time_ps:
-            return self.time_ps < other.time_ps
-        return self.seq < other.seq
+        self._sim._cancel_seq(self.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -83,33 +90,88 @@ class Simulator:
     def __init__(self, name: str = "sim"):
         self.name = name
         self.now_ps: int = 0
-        self._queue: List[Event] = []
+        self._queue: List[_Entry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: Sequence numbers of cancelled-but-still-queued entries.  The
+        #: run loop checks membership only while the set is non-empty.
+        self._cancelled: Set[int] = set()
+        #: Called (no arguments) every time :meth:`run` returns, before
+        #: control reaches the caller.  Components that batch work across
+        #: events (fused compute blocks) register here so their counters
+        #: are settled whenever results can be read.
+        self.on_run_end: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay_ps: int, callback: EventCallback, *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay_ps`` from now."""
+        """Schedule ``callback(*args)`` to run ``delay_ps`` from now.
+
+        Non-integer delays are rounded to the nearest picosecond — the
+        same convention :meth:`ClockDomain.delay_for_cycles` uses — so a
+        float-computed delay cannot silently truncate toward zero.
+        """
         if delay_ps < 0:
             raise SchedulingError(
                 f"cannot schedule {delay_ps} ps in the past (now={self.now_ps})"
             )
-        return self.schedule_at(self.now_ps + int(delay_ps), callback, *args)
+        if type(delay_ps) is not int:
+            delay_ps = round(delay_ps)
+        time_ps = self.now_ps + delay_ps
+        self._seq += 1
+        seq = self._seq
+        heapq.heappush(self._queue, (time_ps, seq, callback, args))
+        return Event(time_ps, seq, self)
 
     def schedule_at(self, time_ps: int, callback: EventCallback, *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute time ``time_ps``."""
+        """Schedule ``callback(*args)`` at absolute time ``time_ps``.
+
+        Non-integer times round to the nearest picosecond (see
+        :meth:`schedule`).
+        """
+        if type(time_ps) is not int:
+            time_ps = round(time_ps)
         if time_ps < self.now_ps:
             raise SchedulingError(
                 f"cannot schedule at {time_ps} ps, now is {self.now_ps} ps"
             )
         self._seq += 1
-        event = Event(int(time_ps), self._seq, callback, args)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        heapq.heappush(self._queue, (time_ps, seq, callback, args))
+        return Event(time_ps, seq, self)
+
+    def post(self, delay_ps: int, callback: EventCallback, *args: Any) -> None:
+        """Schedule without a cancellation handle (model hot paths).
+
+        ``delay_ps`` must be a non-negative integer; callers own the
+        invariant (the public :meth:`schedule` validates).
+        """
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self.now_ps + delay_ps, self._seq, callback, args)
+        )
+
+    def post_at(self, time_ps: int, callback: EventCallback, *args: Any) -> None:
+        """Absolute-time :meth:`post`; ``time_ps`` must not be in the past."""
+        self._seq += 1
+        heapq.heappush(self._queue, (time_ps, self._seq, callback, args))
+
+    def _cancel_seq(self, seq: int) -> None:
+        self._cancelled.add(seq)
+        if len(self._cancelled) > _COMPACT_THRESHOLD and len(self._cancelled) * 2 > len(
+            self._queue
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries in one pass and re-heapify."""
+        cancelled = self._cancelled
+        self._queue = [e for e in self._queue if e[1] not in cancelled]
+        heapq.heapify(self._queue)
+        cancelled.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -125,35 +187,40 @@ class Simulator:
             raise SimulationError(f"simulator {self.name!r} is already running")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        cancelled = self._cancelled
+        pop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until_ps is not None and event.time_ps > until_ps:
+            while queue and not self._stopped:
+                entry = queue[0]
+                if until_ps is not None and entry[0] > until_ps:
                     break
-                heapq.heappop(self._queue)
-                self.now_ps = event.time_ps
-                callback, args = event.callback, event.args
+                pop(queue)
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(entry[1])
+                    continue
+                self.now_ps = entry[0]
                 self._events_executed += 1
-                assert callback is not None  # non-cancelled events keep theirs
-                callback(*args)
+                entry[2](*entry[3])
             if until_ps is not None and not self._stopped and until_ps > self.now_ps:
                 self.now_ps = until_ps
         finally:
             self._running = False
+            for hook in self.on_run_end:
+                hook()
 
     def step(self) -> bool:
         """Execute exactly one pending event; return ``False`` if none."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            entry = heapq.heappop(queue)
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
                 continue
-            self.now_ps = event.time_ps
+            self.now_ps = entry[0]
             self._events_executed += 1
-            assert event.callback is not None
-            event.callback(*event.args)
+            entry[2](*entry[3])
             return True
         return False
 
@@ -176,11 +243,14 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue and cancelled and queue[0][1] in cancelled:
+            cancelled.discard(queue[0][1])
+            heapq.heappop(queue)
+        if not queue:
             return None
-        return self._queue[0].time_ps
+        return queue[0][0]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -126,7 +126,7 @@ class TrafficSource:
         arrival_ps = self.sim.now_ps + gap
         if self._stop_ps is not None and arrival_ps > self._stop_ps:
             return
-        self.sim.schedule(gap, self._arrive)
+        self.sim.post(gap, self._arrive)
 
     def _arrive(self) -> None:
         packet = self._make_packet(self.sim.now_ps)

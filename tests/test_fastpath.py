@@ -1,0 +1,179 @@
+"""Fast-path equivalence tests: materialized / fused step execution.
+
+The microengine may materialize a pure app's step stream at packet bind
+(list iteration instead of generator resumption) and, opted in, fuse
+adjacent computes into one completion event.  These tests pin the
+contract: per-ME observables — completion times, instruction counts,
+state totals — are identical to lazy unfused execution, including under
+stalls, frequency changes and runs that end mid-block.
+"""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.npu.memqueue import build_memories
+from repro.npu.microengine import Microengine
+from repro.npu.steps import Compute, FusedCompute, MemRead, materialize_steps
+from repro.sim.clock import ClockDomain
+from repro.sim.kernel import Simulator
+from repro.units import mhz
+
+from test_microengine import ListSource
+from test_traffic import make_packet
+
+
+def fusable_steps(packet):
+    """Irregular compute runs around a memory reference."""
+    yield Compute(101)
+    yield Compute(203)
+    yield Compute(307)
+    yield MemRead("sram", 8)
+    yield Compute(53)
+    yield Compute(71)
+
+
+def run_me(
+    materialize,
+    fuse=False,
+    perturb=None,
+    until=60_000_000,
+    npackets=4,
+    steps_fn=fusable_steps,
+    num_threads=4,
+    ctx_switch_cycles=1,
+    resume_until=None,
+):
+    sim = Simulator()
+    clock = ClockDomain(sim, mhz(600), "me0")
+    sram, sdram, scratch, _ = build_memories(sim, MemoryConfig())
+    memories = {"sram": sram, "sdram": sdram, "scratch": scratch}
+    done = []
+    packets = [make_packet(seq=k) for k in range(npackets)]
+    me = Microengine(
+        sim,
+        clock,
+        0,
+        "rx",
+        ListSource(packets),
+        steps_fn,
+        memories,
+        num_threads=num_threads,
+        ctx_switch_cycles=ctx_switch_cycles,
+        on_packet_done=lambda p: done.append(sim.now_ps),
+        materialize=materialize,
+        fuse=fuse,
+    )
+    me.start()
+    if perturb is not None:
+        perturb(sim, me)
+    sim.run(until_ps=until)
+    snapshot = {
+        "done": list(done),
+        "instructions": me.instructions_executed,
+        "packets": me.packets_processed,
+        "polls": me.polls,
+        "mem_accesses": me.mem_accesses,
+        "totals": dict(me.states.totals_ps()),
+    }
+    if resume_until is not None:
+        sim.run(until_ps=resume_until)
+        snapshot["final_done"] = list(done)
+        snapshot["final_instructions"] = me.instructions_executed
+        snapshot["final_totals"] = dict(me.states.totals_ps())
+    return snapshot
+
+
+def assert_equivalent(perturb=None, until=60_000_000, resume_until=None):
+    lazy = run_me(
+        materialize=False, perturb=perturb, until=until, resume_until=resume_until
+    )
+    fused = run_me(
+        materialize=True,
+        fuse=True,
+        perturb=perturb,
+        until=until,
+        resume_until=resume_until,
+    )
+    assert fused == lazy
+
+
+class TestMaterializedEquivalence:
+    def test_materialize_without_fuse_is_identical(self):
+        lazy = run_me(materialize=False)
+        listed = run_me(materialize=True, fuse=False)
+        assert listed == lazy
+
+    def test_fused_plain_run(self):
+        assert_equivalent()
+
+    def test_fused_with_stall_mid_block(self):
+        # 400_000 ps lands inside the second compute of the first block.
+        def perturb(sim, me):
+            sim.schedule_at(400_000, me.stall_for, 2_000_000)
+
+        assert_equivalent(perturb=perturb)
+
+    def test_fused_with_frequency_change_mid_block(self):
+        def perturb(sim, me):
+            sim.schedule_at(400_000, me.set_vf, mhz(300), 1.0)
+
+        assert_equivalent(perturb=perturb)
+
+    def test_fused_with_vf_change_and_penalty_mid_block(self):
+        # The governor pattern: retune, then freeze for the transition.
+        def perturb(sim, me):
+            def transition():
+                me.set_vf(mhz(400), 1.1)
+                me.stall_for(1_500_000)
+
+            sim.schedule_at(400_000, transition)
+
+        assert_equivalent(perturb=perturb)
+
+    def test_fused_run_ending_mid_block_settles_counters(self):
+        # 450_000 ps is inside the third compute of the first block; the
+        # run-end settle must refund un-started parts and the resumed run
+        # must land on exactly the lazy timeline.
+        assert_equivalent(until=450_000, resume_until=60_000_000)
+
+    def test_fused_stop_mid_block_keeps_charges(self):
+        def perturb(sim, me):
+            sim.schedule_at(400_000, sim.stop)
+
+        assert_equivalent(perturb=perturb, until=60_000_000)
+
+
+class TestMaterializeSteps:
+    def test_fuses_adjacent_computes(self):
+        steps = materialize_steps(fusable_steps(make_packet()))
+        kinds = [type(s).__name__ for s in steps]
+        assert kinds == ["FusedCompute", "MemRead", "FusedCompute"]
+        assert steps[0].parts == (101, 203, 307)
+        assert steps[0].instructions == 611
+        assert steps[2].parts == (53, 71)
+
+    def test_single_computes_stay_unfused(self):
+        def stream():
+            yield Compute(10)
+            yield MemRead("sram", 4)
+            yield Compute(20)
+
+        steps = materialize_steps(stream())
+        assert [type(s).__name__ for s in steps] == [
+            "Compute",
+            "MemRead",
+            "Compute",
+        ]
+
+    def test_fuse_false_preserves_objects(self):
+        original = list(fusable_steps(make_packet()))
+        steps = materialize_steps(iter(original), fuse=False)
+        assert steps == original
+
+    def test_fused_compute_validates_parts(self):
+        from repro.errors import NpuError
+
+        with pytest.raises(NpuError):
+            FusedCompute((5,))
+        with pytest.raises(NpuError):
+            FusedCompute((5, 0))

@@ -157,3 +157,63 @@ def test_event_args_passed_through():
     sim.schedule(1, lambda a, b, c: seen.append((a, b, c)), 1, "x", None)
     sim.run()
     assert seen == [(1, "x", None)]
+
+
+def test_schedule_rounds_float_delay():
+    """A float delay rounds to the nearest picosecond, never truncates."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(100.6, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now_ps == 101
+
+
+def test_schedule_at_rounds_float_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(250.4, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now_ps == 250
+
+
+def test_schedule_rejects_negative_float_delay():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_post_and_schedule_share_one_sequence():
+    """post/post_at interleave with schedule in strict call order at a tie."""
+    sim = Simulator()
+    order = []
+    sim.schedule(100, order.append, "a")
+    sim.post(100, order.append, "b")
+    sim.schedule_at(100, order.append, "c")
+    sim.post_at(100, order.append, "d")
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_mass_cancellation_compacts_queue():
+    """Cancelling more than half the queue compacts it in place."""
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(1_000 + k, fired.append, k) for k in range(600)]
+    for event in events[:500]:
+        event.cancel()
+    assert sim.pending_events < 600  # cancelled entries were swept out
+    sim.run()
+    assert fired == list(range(500, 600))
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    event.cancel()
+    event.cancel()
+    sim.schedule(20, fired.append, "y")
+    sim.run()
+    assert fired == ["y"]
