@@ -423,8 +423,10 @@ class Microengine:
         thread.waiting = True
         resource.request(step.nbytes, self._mem_done, thread)
         self._current = None
-        # Context switch burns engine cycles before the next dispatch.
-        if self.ctx_switch_cycles > 0 and (self._ready or not self._stalled):
+        # A context switch burns engine cycles only when there is a
+        # ready thread to switch to; with every other thread blocked the
+        # engine goes idle (or stalled) as of the issue itself.
+        if self.ctx_switch_cycles > 0 and self._ready:
             delay = self.clock.delay_for_cycles(self.ctx_switch_cycles)
             self.sim.post(delay, self._dispatch)
         else:
@@ -519,7 +521,10 @@ class Microengine:
         self._ready.append(thread)
         if self._current is None and not self._stalled:
             self._dispatch()
-        elif self._stalled:
+        elif self._stalled and self._current is None:
+            # Mark the freeze only when nothing is executing: a compute
+            # in flight keeps the engine BUSY until it completes (the
+            # thread parks in _compute_done).
             self._set_state(STALLED)
 
     def _finish_packet(self, thread: _HwThread) -> None:

@@ -12,7 +12,7 @@ import pytest
 
 from repro.config import MemoryConfig
 from repro.npu.memqueue import build_memories
-from repro.npu.microengine import Microengine
+from repro.npu.microengine import BUSY, IDLE, STALLED, Microengine
 from repro.npu.steps import Compute, FusedCompute, MemRead, materialize_steps
 from repro.sim.clock import ClockDomain
 from repro.sim.kernel import Simulator
@@ -177,3 +177,85 @@ class TestMaterializeSteps:
             FusedCompute((5,))
         with pytest.raises(NpuError):
             FusedCompute((5, 0))
+
+
+class TestAccountingBugfixes:
+    def test_no_ctx_switch_charge_when_no_ready_thread(self):
+        """Idle windows start at the memory-issue instant.
+
+        With a single thread blocking on memory there is nothing to
+        switch to: the engine must account IDLE from the issue itself,
+        not one context-switch delay later.
+        """
+
+        def steps(packet):
+            yield MemRead("sdram", 2048)
+
+        result = run_me(
+            materialize=False,
+            steps_fn=steps,
+            num_threads=1,
+            npackets=1,
+            until=50_000,
+        )
+        assert result["totals"].get(IDLE, 0) == 50_000
+        assert result["totals"].get(BUSY, 0) == 0
+
+    def test_idle_window_fraction_is_full_during_lone_memory_wait(self):
+        sim = Simulator()
+        clock = ClockDomain(sim, mhz(600), "me0")
+        sram, sdram, scratch, _ = build_memories(sim, MemoryConfig())
+        memories = {"sram": sram, "sdram": sdram, "scratch": scratch}
+
+        def steps(packet):
+            yield MemRead("sdram", 2048)
+
+        me = Microengine(
+            sim,
+            clock,
+            0,
+            "rx",
+            ListSource([make_packet()]),
+            steps,
+            memories,
+            num_threads=1,
+        )
+        me.start()
+        sim.run(until_ps=50_000)
+        assert me.idle_fraction_window() == pytest.approx(1.0)
+
+    def test_stall_mid_compute_stays_busy_until_completion(self):
+        """A memory response during a stall must not mark a computing
+        engine STALLED: the in-flight compute runs to completion and
+        only then does the thread park."""
+
+        packets = [make_packet(seq=0), make_packet(seq=1)]
+
+        def steps(packet):
+            if packet.seq == 0:
+                yield MemRead("sdram", 2048)  # completes ~4 us in
+            else:
+                yield Compute(60_000)  # 100 us at 600 MHz
+
+        sim = Simulator()
+        clock = ClockDomain(sim, mhz(600), "me0")
+        sram, sdram, scratch, _ = build_memories(sim, MemoryConfig())
+        memories = {"sram": sram, "sdram": sdram, "scratch": scratch}
+        me = Microengine(
+            sim,
+            clock,
+            0,
+            "rx",
+            ListSource(packets),
+            steps,
+            memories,
+            num_threads=2,
+        )
+        me.start()
+        # Stall begins at 1 us — inside the 100 us compute — and the
+        # SDRAM response lands during both the stall and the compute.
+        sim.schedule_at(1_000_000, me.stall_for, 300_000_000)
+        sim.run(until_ps=150_000_000)
+        totals = me.states.totals_ps()
+        assert totals.get(BUSY, 0) >= 100_000_000
+        assert me.states.state == STALLED
