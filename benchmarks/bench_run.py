@@ -19,10 +19,21 @@ adds the ``--baseline`` soft regression gate.)
 import os
 import sys
 
-from repro.bench import render_bench_text, run_bench, write_bench_json
+from repro.bench import (
+    kernel_gain,
+    load_bench_json,
+    render_bench_text,
+    run_bench,
+    write_bench_json,
+)
 
 #: Machine-readable results artifact (cwd: uploaded by the CI bench lane).
 BENCH_JSON = os.environ.get("REPRO_BENCH_RUN_JSON", "BENCH_run.json")
+
+#: Committed reference artifact: the kernel-overhaul numbers this tree
+#: is expected to hold.  ``repro bench --baseline`` gates against it in
+#: CI; here it stamps the measured gain into the artifact.
+BASELINE_JSON = os.path.join(os.path.dirname(__file__), "BENCH_run.baseline.json")
 
 #: The acceptance bar: compiled checking must at least double the
 #: interpreted path's events/sec.
@@ -31,8 +42,23 @@ MIN_SPEEDUP = 2.0
 
 def _bench() -> dict:
     data = run_bench()
+    if os.path.exists(BASELINE_JSON):
+        # Record whole-run kernel throughput relative to the committed
+        # baseline so the artifact carries the gain (or regression)
+        # explicitly, not just absolute events/sec.
+        data["kernel_vs_baseline"] = kernel_gain(load_bench_json(BASELINE_JSON), data)
     write_bench_json(data, BENCH_JSON)
     return data
+
+
+def _gain_line(data: dict) -> str:
+    gain = data.get("kernel_vs_baseline") or {}
+    if not gain.get("geomean_speedup"):
+        return "kernel vs committed baseline: (no baseline artifact)"
+    return (
+        f"kernel run_events_per_s vs committed baseline: "
+        f"geomean {gain['geomean_speedup']}x, min {gain['min_speedup']}x"
+    )
 
 
 def test_observation_path_events_per_second(benchmark):
@@ -40,6 +66,7 @@ def test_observation_path_events_per_second(benchmark):
 
     data = run_once(benchmark, _bench)
     print("\n" + render_bench_text(data))
+    print(_gain_line(data))
     speedup = data["totals"]["speedup_compiled_vs_interpreted"]
     assert speedup is not None and speedup >= MIN_SPEEDUP, (
         f"compiled monitors moved events only {speedup}x faster than the "
@@ -50,6 +77,7 @@ def test_observation_path_events_per_second(benchmark):
 def main() -> int:
     data = _bench()
     print(render_bench_text(data))
+    print(_gain_line(data))
     print(f"wrote {BENCH_JSON}")
     speedup = data["totals"]["speedup_compiled_vs_interpreted"]
     if speedup is None or speedup < MIN_SPEEDUP:

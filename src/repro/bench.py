@@ -38,6 +38,7 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import math
 import os
 import pstats
 import time
@@ -403,14 +404,15 @@ def render_bench_text(data: Dict) -> str:
 def compare_bench(
     baseline: Dict, current: Dict, tolerance: float = 0.20
 ) -> List[str]:
-    """Soft regression gate: warnings when events/sec fell > ``tolerance``.
+    """Regression gate: messages when events/sec fell > ``tolerance``.
 
-    Compares the checking-path events/sec totals (both modes) and each
-    scenario's compiled throughput against a previous artifact.
-    Returns warning strings; empty means no regression beyond the
-    tolerance.  Wall-clock noise across runners is expected — this is a
-    warn-only gate, never a hard failure.
-    """
+    Compares the checking-path events/sec totals (both modes), each
+    scenario's compiled checking throughput, and each scenario's
+    whole-run kernel throughput (``run_events_per_s``, compiled mode)
+    against a previous artifact.  Returns message strings; empty means
+    no regression beyond the tolerance.  Whether a non-empty list is a
+    warning or a failure is the caller's policy (``repro bench``
+    defaults to warn; ``--regress-fail`` promotes it)."""
     warnings: List[str] = []
 
     def check(label: str, old_value, new_value) -> None:
@@ -453,7 +455,47 @@ def compare_bench(
             new_scenarios[name].get("checking", {}).get("compiled", {})
             .get("events_per_s"),
         )
+        check(
+            f"{name}.run.compiled",
+            old_scenarios[name].get("run_events_per_s", {}).get("compiled"),
+            new_scenarios[name].get("run_events_per_s", {}).get("compiled"),
+        )
     return warnings
+
+
+def kernel_gain(baseline: Dict, current: Dict) -> Dict:
+    """Whole-run kernel throughput vs a baseline artifact.
+
+    Ratios of compiled-mode ``run_events_per_s`` per scenario (packets
+    through the simulation per wall second — the kernel-speed number,
+    as opposed to the checking-path replay throughput), over the
+    scenarios both artifacts measured.  The geometric mean is the
+    headline; ``min_speedup`` is the gate-friendly floor.
+    """
+    entries: Dict[str, Dict] = {}
+    old_scenarios = baseline.get("scenarios", {})
+    new_scenarios = current.get("scenarios", {})
+    for name in sorted(set(old_scenarios) & set(new_scenarios)):
+        old = old_scenarios[name].get("run_events_per_s", {}).get("compiled")
+        new = new_scenarios[name].get("run_events_per_s", {}).get("compiled")
+        if not old or not new:
+            continue
+        entries[name] = {
+            "baseline": old,
+            "current": new,
+            "speedup": round(new / old, 3),
+        }
+    ratios = [e["speedup"] for e in entries.values()]
+    geomean = (
+        round(math.exp(sum(math.log(r) for r in ratios) / len(ratios)), 3)
+        if ratios
+        else None
+    )
+    return {
+        "scenarios": entries,
+        "min_speedup": min(ratios) if ratios else None,
+        "geomean_speedup": geomean,
+    }
 
 
 def _frame_label(func: Tuple[str, int, str]) -> str:

@@ -345,6 +345,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline (default: 0.20)",
     )
     bench_parser.add_argument(
+        "--regress-fail",
+        action="store_true",
+        help="promote the --baseline gate from warnings to a hard "
+        "failure: exit 1 when any events/sec drop exceeds --regress-warn",
+    )
+    bench_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress"
     )
     bench_parser.add_argument(
@@ -862,15 +868,21 @@ def _cmd_bench(args) -> int:
 
     if baseline is not None:
         warnings = compare_bench(baseline, data, tolerance=args.regress_warn)
+        severity = "FAIL" if args.regress_fail else "WARNING"
         for warning in warnings:
-            print(f"bench: WARNING {warning}", file=sys.stderr)
+            print(f"bench: {severity} {warning}", file=sys.stderr)
             if os.environ.get("GITHUB_ACTIONS"):
-                # Soft gate: surface as an Actions warning annotation,
-                # never a red run — wall-clock noise across runners is
-                # expected.
-                print(f"::warning title=bench_run regression::{warning}")
+                # Surface as an Actions annotation: an error when the
+                # gate is hard (--regress-fail, the nightly lane against
+                # the committed baseline), a warning otherwise —
+                # wall-clock noise across runners is expected on the
+                # soft path.
+                kind = "error" if args.regress_fail else "warning"
+                print(f"::{kind} title=bench_run regression::{warning}")
         if not warnings:
             print("bench: no events/sec regression vs baseline", file=sys.stderr)
+        elif args.regress_fail:
+            return 1
     return 0
 
 

@@ -9,6 +9,7 @@ from repro.bench import (
     bench_formulas,
     bench_scenario,
     compare_bench,
+    kernel_gain,
     load_bench_json,
     render_bench_text,
     run_bench,
@@ -83,6 +84,32 @@ class TestCompareBench:
         old = _artifact()
         old["totals"]["events_per_s_checking"]["compiled"] = None
         assert compare_bench(old, _artifact(), tolerance=0.20) == []
+
+    def test_warns_on_run_throughput_regression(self):
+        # The kernel-speed number: whole-run events/sec, compiled mode.
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["flash_crowd"]["run_events_per_s"]["compiled"] = 1000.0
+        warnings = compare_bench(old, new, tolerance=0.20)
+        assert any("flash_crowd.run.compiled" in w for w in warnings)
+
+
+class TestKernelGain:
+    def test_ratios_and_geomean(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["flash_crowd"]["run_events_per_s"]["compiled"] = 3181.8
+        gain = kernel_gain(old, new)
+        entry = gain["scenarios"]["flash_crowd"]
+        assert entry["baseline"] == 1590.9
+        assert entry["current"] == 3181.8
+        assert entry["speedup"] == pytest.approx(2.0, abs=0.01)
+        assert gain["min_speedup"] == entry["speedup"]
+        assert gain["geomean_speedup"] == pytest.approx(2.0, abs=0.01)
+
+    def test_empty_without_overlap(self):
+        gain = kernel_gain({"scenarios": {}}, _artifact())
+        assert gain["scenarios"] == {}
+        assert gain["min_speedup"] is None
+        assert gain["geomean_speedup"] is None
 
 
 class TestBenchPieces:
