@@ -24,6 +24,13 @@ it streams — the assertion-based-methodology move of checking verdicts
     The legacy per-delivery callback, counted per job *index* (so a
     duplicated job id ticks once per occurrence) — exactly what
     :func:`~repro.sweep.engine.progress_printer` expects.
+``on_span(record)``
+    One span record landed in the session's process-wide
+    :class:`~repro.obs.spans.SpanRecorder` (wall-clock orchestration
+    spans and absorbed sim-time job spans alike).  Registered as a
+    recorder listener for the duration of each streamed sweep; never
+    fires when ``REPRO_OBS_SPANS=off``.  May fire from a non-main
+    thread (distributed grants and completions).
 
 Hooks must not raise: an exception escapes into (and aborts) the sweep,
 by design — a monitoring bug should be loud, not silent.
@@ -32,7 +39,7 @@ by design — a monitoring bug should be loud, not silent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.loc.checker import CheckResult
 from repro.sweep.spec import Job
@@ -42,6 +49,7 @@ StartHook = Callable[[Job], None]
 OutcomeHook = Callable[[SweepOutcome], None]
 CheckFailedHook = Callable[[SweepOutcome, List[CheckResult]], None]
 ProgressHook = Callable[[int, int, SweepOutcome], None]
+SpanHook = Callable[[Dict[str, Any]], None]
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,7 @@ class EventHooks:
     on_check_failed: Optional[CheckFailedHook] = field(default=None, compare=False)
     on_abort: Optional[OutcomeHook] = field(default=None, compare=False)
     progress: Optional[ProgressHook] = field(default=None, compare=False)
+    on_span: Optional[SpanHook] = field(default=None, compare=False)
 
     def __bool__(self) -> bool:
         return any(
@@ -96,4 +105,5 @@ def chain_hooks(*bundles: Optional[EventHooks]) -> EventHooks:
         on_check_failed=fan("on_check_failed"),
         on_abort=fan("on_abort"),
         progress=fan("progress"),
+        on_span=fan("on_span"),
     )

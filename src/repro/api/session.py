@@ -63,8 +63,13 @@ class Session:
         # per-channel TraceBus accounting aggregated across outcomes,
         # and backend fleet telemetry — exported via write_metrics().
         from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import get_recorder
 
         self.metrics = MetricsRegistry()
+        # The span timeline shares the process-wide recorder, so
+        # backend-internal spans (coordinator grants, worker absorption)
+        # land in the same log as the session's own orchestration spans.
+        self.spans = get_recorder()
 
     # -- single runs -----------------------------------------------------
     def run(
@@ -137,6 +142,8 @@ class Session:
         from repro.backends import run_backend
         from repro.backends.base import ExecutionBackend
 
+        from repro.obs.metrics import FORWARD_LATENCY_EDGES_US
+
         total = len(jobs)
         done = 0
 
@@ -150,6 +157,9 @@ class Session:
             slots.append(index)
 
         metrics = self.metrics
+        spans = self.spans
+        if hooks.on_span is not None:
+            spans.add_listener(hooks.on_span)
 
         def emit(outcome: SweepOutcome) -> None:
             nonlocal done
@@ -169,6 +179,35 @@ class Session:
                             metrics.counter(f"trace.{name}.{field}").inc(
                                 int(stats[field])
                             )
+                # The job's deterministic sim-time timeline joins the
+                # session span log, tagged with the job id so exporters
+                # can group each run's kernel phases into its own track
+                # set and link them to the wall-clock job spans.
+                spans.extend(
+                    outcome.obs.get("spans") or (),
+                    attrs={"job": outcome.job_id},
+                )
+            # Forward-latency distribution per scenario: every outcome
+            # carrying a span-latency check contributes its mean
+            # inter-packet span latency (µs) to a fixed-edge histogram,
+            # so snapshots ship mergeable latency distributions without
+            # any per-packet sampling.
+            for check in outcome.check_results:
+                # The unparsed LHS arrives parenthesized:
+                # "(time(forward[i+k]) - time(forward[i])) <= bound".
+                if (
+                    check.instances_checked > 0
+                    and check.formula_text.lstrip("(").startswith(
+                        "time(forward["
+                    )
+                ):
+                    scenario = (
+                        outcome.result.config.traffic.scenario or "none"
+                    )
+                    metrics.histogram(
+                        f"latency.forward.{scenario}",
+                        FORWARD_LATENCY_EDGES_US,
+                    ).observe(check.mean_lhs)
             if hooks.on_outcome is not None:
                 hooks.on_outcome(outcome)
             if hooks.on_check_failed is not None and outcome.check_results:
@@ -178,55 +217,71 @@ class Session:
             if hooks.on_abort is not None and outcome.result.aborted_early:
                 hooks.on_abort(outcome)
 
-        store: Optional[ResultStore] = self.store.make()
-        pending: List[Job] = []
-        cached_hits: List[SweepOutcome] = []
-        for job in first_jobs:
-            cached = (
-                store.get(job.job_id)
-                if store is not None and self.store.reuse
-                else None
-            )
-            if cached is not None:
-                cached_hits.append(cached)
-            else:
-                pending.append(job)
-        for outcome in cached_hits:
-            emit(outcome)
-            yield outcome
-
-        if not pending:
-            # Single-use contract even when everything was cached.
-            if isinstance(self.execution.backend, ExecutionBackend):
-                self.execution.backend.close()
-            return
-
-        open_ids = {job.job_id for job in pending}
-        backend = self.execution.make_backend(len(pending))
         try:
-            for outcome in run_backend(backend, pending, hooks.on_job_start):
-                if outcome.job_id not in open_ids:
-                    raise BackendError(
-                        f"backend {backend.name!r} yielded unknown or "
-                        f"duplicate job id {outcome.job_id!r}"
+            with spans.wall_span("stream", "session", {"jobs": total}):
+                store: Optional[ResultStore] = self.store.make()
+                pending: List[Job] = []
+                cached_hits: List[SweepOutcome] = []
+                for job in first_jobs:
+                    cached = (
+                        store.get(job.job_id)
+                        if store is not None and self.store.reuse
+                        else None
                     )
-                open_ids.discard(outcome.job_id)
-                if store is not None:
-                    store.add(outcome)
-                emit(outcome)
-                yield outcome
-            # Fleet telemetry (coordinator/worker counters, lease EWMA)
-            # merges into the sweep-level snapshot once the run drains.
-            metrics.merge_telemetry(
-                backend.telemetry(), prefix=f"backend.{backend.name}."
-            )
+                    if cached is not None:
+                        cached_hits.append(cached)
+                    else:
+                        pending.append(job)
+                for outcome in cached_hits:
+                    emit(outcome)
+                    yield outcome
+
+                if not pending:
+                    # Single-use contract even when everything was cached.
+                    if isinstance(self.execution.backend, ExecutionBackend):
+                        self.execution.backend.close()
+                    return
+
+                open_ids = {job.job_id for job in pending}
+                backend = self.execution.make_backend(len(pending))
+                try:
+                    with spans.wall_span(
+                        "run", "backend",
+                        {"backend": backend.name, "jobs": len(pending)},
+                    ):
+                        for outcome in run_backend(
+                            backend, pending, hooks.on_job_start
+                        ):
+                            if outcome.job_id not in open_ids:
+                                raise BackendError(
+                                    f"backend {backend.name!r} yielded unknown or "
+                                    f"duplicate job id {outcome.job_id!r}"
+                                )
+                            open_ids.discard(outcome.job_id)
+                            if store is not None:
+                                with spans.wall_span(
+                                    "append", "store",
+                                    {"job": outcome.job_id},
+                                ):
+                                    store.add(outcome)
+                            emit(outcome)
+                            yield outcome
+                    # Fleet telemetry (coordinator/worker counters, lease
+                    # EWMA) merges into the sweep-level snapshot once the
+                    # run drains.
+                    metrics.merge_telemetry(
+                        backend.telemetry(), prefix=f"backend.{backend.name}."
+                    )
+                finally:
+                    backend.close()
+                if open_ids:
+                    raise BackendError(
+                        f"backend {backend.name!r} finished without yielding "
+                        f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
+                    )
         finally:
-            backend.close()
-        if open_ids:
-            raise BackendError(
-                f"backend {backend.name!r} finished without yielding "
-                f"{len(open_ids)} job(s): {', '.join(sorted(open_ids))}"
-            )
+            if hooks.on_span is not None:
+                spans.remove_listener(hooks.on_span)
 
     # -- telemetry -------------------------------------------------------
     def write_metrics(self, path: str, meta: Optional[Dict] = None) -> None:
@@ -237,6 +292,17 @@ class Session:
         ``repro metrics`` CLI.
         """
         self.metrics.write_snapshot(path, meta=meta)
+
+    def write_spans(self, path: str, meta: Optional[Dict] = None) -> None:
+        """Write the session's span timeline as a JSONL span log.
+
+        One header line (schema tag + version) then one sorted line per
+        span — the artifact ``repro trace export`` and ``repro report
+        --html`` consume.  Written even when ``REPRO_OBS_SPANS=off``
+        (the log is then just the header), so downstream tooling can
+        always tell "spans disabled" from "file missing".
+        """
+        self.spans.write(path, meta=meta)
 
     # -- studies ---------------------------------------------------------
     def study(

@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import BackendError, ExperimentError
 from repro.backends.base import ExecutionBackend, StartFn
+from repro.obs.spans import get_recorder
 from repro.backends.protocol import (
     DEFAULT_HOST,
     PROTOCOL_VERSION,
@@ -120,6 +121,11 @@ class _Lease:
     #: When the lease last heartbeat (or was granted) — feeds the
     #: heartbeat-interval EWMA in the coordinator telemetry.
     last_beat: float = 0.0
+    #: ``perf_counter`` at grant time — the start of the grant→outcome
+    #: span on the ``job`` track (``granted_at`` is ``monotonic``, the
+    #: lease-math clock; spans share the recorder's ``perf_counter``
+    #: timeline instead).
+    granted_perf: float = 0.0
 
 
 class _State:
@@ -166,6 +172,7 @@ class _State:
     def grant(self, worker: str) -> dict:
         """Answer one ``pull``: a job, a wait, or a shutdown."""
         granted: Optional[Job] = None
+        grant_start = time.perf_counter()
         with self.lock:
             if self.failed or self.shutdown.is_set():
                 return {"type": "shutdown"}
@@ -177,7 +184,7 @@ class _State:
                 self.leases[job.job_id] = _Lease(
                     job=job, worker=worker,
                     deadline=now + term_s, term_s=term_s, granted_at=now,
-                    last_beat=now,
+                    last_beat=now, granted_perf=grant_start,
                 )
                 self.counters["jobs_granted"] += 1
                 granted = job
@@ -188,8 +195,14 @@ class _State:
                 return {"type": "wait", "poll_s": 0.2}
         # Fire the dispatch hook outside the lock: a slow subscriber
         # must never stall heartbeats or completions.
-        if granted is not None and self.on_start is not None:
-            self.on_start(granted)
+        if granted is not None:
+            get_recorder().add_wall(
+                "grant", "coordinator",
+                grant_start, time.perf_counter() - grant_start,
+                {"job": granted.job_id, "worker": worker},
+            )
+            if self.on_start is not None:
+                self.on_start(granted)
         return reply
 
     def heartbeat(self, job_id: str, worker: str) -> None:
@@ -222,6 +235,14 @@ class _State:
             lease = self.leases.pop(job_id, None)
             if lease is not None:
                 self.clock.observe(time.monotonic() - lease.granted_at)
+                # Grant→outcome as the coordinator saw it: the wall-clock
+                # cost of the whole remote attempt, one span per job.
+                get_recorder().add_wall(
+                    "job", "job",
+                    lease.granted_perf,
+                    time.perf_counter() - lease.granted_perf,
+                    {"job": job_id, "worker": lease.worker},
+                )
             # A late delivery may race a lease-expiry requeue: purge the
             # pending copy so the finished job is never granted again.
             if any(job.job_id == job_id for job in self.pending):
@@ -291,6 +312,19 @@ class _State:
                 value = telemetry.get(src)
                 if isinstance(value, int) and not isinstance(value, bool):
                     self.counters[dst] += max(0, value)
+
+    def absorb_worker_spans(self, spans: object) -> None:
+        """Fold a worker's wall-clock spans into the coordinator log.
+
+        Workers attach an optional ``spans`` list to each outcome
+        message — pull-wait, execute and ship spans on their own
+        ``worker:<name>`` tracks — absent on protocol-v1 peers that
+        predate it.  Malformed entries are dropped, never raised on,
+        exactly like unknown ``telemetry`` keys.
+        """
+        if not isinstance(spans, list):
+            return
+        get_recorder().extend(spans)
 
 
 class DistributedBackend(ExecutionBackend):
@@ -478,6 +512,7 @@ class DistributedBackend(ExecutionBackend):
                         SweepOutcome.from_dict(message["outcome"]), cached=False
                     )
                     state.absorb_worker_telemetry(message.get("telemetry"))
+                    state.absorb_worker_spans(message.get("spans"))
                     state.complete(outcome.job_id, outcome)
                     send_message(conn, {"type": "ok"})
                 elif kind == "error":

@@ -8,11 +8,13 @@ the engine's former inline loop so every strategy satisfies one
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import BackendError
 from repro.backends.base import ExecutionBackend, StartFn
+from repro.obs.spans import get_recorder
 from repro.sweep.spec import Job
 from repro.sweep.store import SweepOutcome
 
@@ -34,10 +36,22 @@ class SerialBackend(ExecutionBackend):
     ) -> Iterator[SweepOutcome]:
         from repro.sweep.engine import run_job
 
+        spans = get_recorder()
         for job in jobs:
-            if on_start is not None:
-                on_start(job)
-            outcome = run_job(job)
+            with spans.wall_span(
+                "grant", "coordinator", {"job": job.job_id, "worker": "serial"}
+            ):
+                if on_start is not None:
+                    on_start(job)
+            start_s = time.perf_counter()
+            with spans.wall_span(
+                "execute", "worker:serial", {"job": job.job_id}
+            ):
+                outcome = run_job(job)
+            spans.add_wall(
+                "job", "job", start_s, time.perf_counter() - start_s,
+                {"job": job.job_id, "worker": "serial"},
+            )
             self.jobs_run += 1
             yield outcome
 
@@ -70,17 +84,36 @@ class ProcessBackend(ExecutionBackend):
 
         if not jobs:
             return
+        spans = get_recorder()
         self._pool_size = min(self.workers, len(jobs))
         with ProcessPoolExecutor(max_workers=self._pool_size) as pool:
             remaining = set()
+            submitted_at = {}
+            job_ids = {}
             for job in jobs:
-                if on_start is not None:
-                    on_start(job)
-                remaining.add(pool.submit(run_job, job))
+                with spans.wall_span(
+                    "grant", "coordinator",
+                    {"job": job.job_id, "worker": "pool"},
+                ):
+                    if on_start is not None:
+                        on_start(job)
+                    future = pool.submit(run_job, job)
+                remaining.add(future)
+                submitted_at[future] = time.perf_counter()
+                job_ids[future] = job.job_id
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
                     self.jobs_run += 1
+                    # Submit→completion as seen from the coordinator;
+                    # the child process's own wall spans stay in the
+                    # child (no IPC channel carries them back — only
+                    # the deterministic sim spans ride the outcome).
+                    spans.add_wall(
+                        "job", "job", submitted_at[future],
+                        time.perf_counter() - submitted_at[future],
+                        {"job": job_ids[future], "worker": "pool"},
+                    )
                     yield future.result()
 
     def telemetry(self) -> dict:

@@ -31,6 +31,7 @@ from repro.backends.protocol import (
     recv_message,
     send_message,
 )
+from repro.obs.spans import SpanRecorder
 from repro.sweep.spec import Job
 
 #: Fault-injection hook (tests/CI only): crash hard after the next grant.
@@ -139,6 +140,13 @@ def _serve_session(
     sock = _connect_with_retry(host, port, connect_timeout_s)
     send_lock = threading.Lock()
     completed = 0
+    worker_name = f"{socket.gethostname()}:{os.getpid()}"
+    # Per-job wall spans (pull-wait, execute, ship) ride each outcome
+    # message as the optional ``spans`` key — protocol-compatible the
+    # way ``telemetry`` is, and disabled by REPRO_OBS_SPANS=off on the
+    # worker side (the message then simply omits the key, which is also
+    # what a pre-spans peer looks like to the coordinator).
+    span_track = f"worker:{worker_name}"
 
     def say(line: str) -> None:
         if log is not None:
@@ -151,7 +159,7 @@ def _serve_session(
         sock.settimeout(None)
         send_message(sock, {
             "type": "hello",
-            "worker": f"{socket.gethostname()}:{os.getpid()}",
+            "worker": worker_name,
             "protocol": PROTOCOL_VERSION,
         }, send_lock)
         welcome = recv_message(sock)
@@ -163,8 +171,11 @@ def _serve_session(
         lease_s = float(welcome.get("lease_s", 15.0))
         say(f"worker: connected to {host}:{port} (lease {lease_s:g}s)")
 
+        pull_start: Optional[float] = None
         while max_jobs is None or completed < max_jobs:
             try:
+                if pull_start is None:
+                    pull_start = time.perf_counter()
                 send_message(sock, {"type": "pull"}, send_lock)
                 reply = recv_message(sock)
             except (OSError, BackendError):
@@ -182,6 +193,13 @@ def _serve_session(
             if reply.get("type") != "job":
                 raise BackendError(f"unexpected coordinator reply: {reply!r}")
             job = Job.from_dict(reply["job"])
+            job_spans = SpanRecorder()
+            job_spans.add_wall(
+                "pull", span_track,
+                pull_start, time.perf_counter() - pull_start,
+                {"job": job.job_id},
+            )
+            pull_start = None
             if os.environ.get(CRASH_ENV_VAR):
                 os._exit(17)  # fault injection: die holding the lease
 
@@ -201,7 +219,10 @@ def _serve_session(
             try:
                 from repro.sweep.engine import run_job
 
-                outcome = run_job(job)
+                with job_spans.wall_span(
+                    "execute", span_track, {"job": job.job_id}
+                ):
+                    outcome = run_job(job)
             except ReproError as exc:
                 stop.set()
                 heartbeat.join()
@@ -221,15 +242,28 @@ def _serve_session(
                 # ``telemetry`` carries per-job deltas the coordinator
                 # sums into fleet totals; the key is optional within
                 # protocol v1, so older coordinators simply ignore it.
-                send_message(sock, {
+                # ``spans`` likewise.  The ship span times outcome
+                # serialization — the send that carries it cannot ride
+                # the message it would be timing.
+                ship_start = time.perf_counter()
+                payload = outcome.to_dict()
+                job_spans.add_wall(
+                    "ship", span_track,
+                    ship_start, time.perf_counter() - ship_start,
+                    {"job": job.job_id},
+                )
+                message = {
                     "type": "outcome",
                     "job_id": outcome.job_id,
-                    "outcome": outcome.to_dict(),
+                    "outcome": payload,
                     "telemetry": {
                         "jobs_run": 1,
                         "heartbeats_sent": beats[0],
                     },
-                }, send_lock)
+                }
+                if len(job_spans):
+                    message["spans"] = job_spans.records()
+                send_message(sock, message, send_lock)
                 recv_message(sock)  # ok
             except (OSError, BackendError):
                 # Delivery unconfirmed: the coordinator (if alive) will

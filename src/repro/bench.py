@@ -58,6 +58,7 @@ from repro.loc.builtin import (
 )
 from repro.loc.checker import build_checker
 from repro.loc.monitor import build_monitor
+from repro.obs.spans import OBS_SPANS_ENV_VAR
 from repro.runner import SimulationRun
 from repro.scenarios import get_scenario, list_scenarios
 from repro.studies.spec import StudySpec
@@ -155,6 +156,49 @@ def _replay_compiled(trace, formulas, repeat: int) -> float:
     return time.perf_counter() - start
 
 
+def _wall_stats(samples: Sequence[float]) -> Dict:
+    """Best/mean/stddev over one mode's repeat samples.
+
+    Population stddev — the repeats are the whole measurement, not a
+    sample from a larger draw.  ``best_s`` is the gate-friendly number
+    (minimum wall = least scheduler noise); the spread quantifies how
+    trustworthy a single-run comparison would have been.
+    """
+    best = min(samples)
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return {
+        "best_s": round(best, 4),
+        "mean_s": round(mean, 4),
+        "stddev_s": round(math.sqrt(variance), 4),
+        "samples": len(samples),
+    }
+
+
+def _best_compiled_wall_with_env_off(
+    env_var: str, config: RunConfig, formulas: Sequence, repeats: int
+) -> Optional[float]:
+    """Best compiled-mode wall with one observability lane disabled.
+
+    Saves/sets/restores ``env_var`` around the reruns so the rest of
+    the bench (and the calling process) keeps its configuration.
+    """
+    saved = os.environ.get(env_var)
+    os.environ[env_var] = "off"
+    try:
+        best = None
+        for _ in range(max(1, repeats)):
+            monitors = [build_monitor(f, mode="compiled") for f in formulas]
+            wall, _result = _timed_run(config, monitors=monitors)
+            best = wall if best is None else min(best, wall)
+    finally:
+        if saved is None:
+            del os.environ[env_var]
+        else:
+            os.environ[env_var] = saved
+    return best
+
+
 def _results_identical(compiled_monitors, interpreted_monitors) -> bool:
     """Compare finished results across modes (dict/equality forms)."""
     for compiled, interpreted in zip(compiled_monitors, interpreted_monitors):
@@ -187,11 +231,15 @@ def bench_scenario(
     trace = [(e.name, e.as_tuple()[1:]) for e in buffer.events]
     events = _event_count(capture_result)
 
-    # Whole-run wall clock per observation mode (min over repeats).
+    # Whole-run wall clock per observation mode.  Every repeat sample is
+    # kept: ``walls`` (and the gate) use the best-of-N minimum, while the
+    # per-mode stddev lands in the artifact so a reader can tell a real
+    # regression from scheduler noise.
     walls: Dict[str, float] = {}
+    wall_stats: Dict[str, Dict] = {}
     compiled_monitors: List = []
     for mode in MODES:
-        best = None
+        samples: List[float] = []
         for _ in range(max(1, repeats)):
             if mode == "no_checkers":
                 wall, result = _timed_run(config)
@@ -212,29 +260,34 @@ def bench_scenario(
                     f"({_event_count(result)} != {events}) — the bus must "
                     "not perturb the simulation"
                 )
-            best = wall if best is None else min(best, wall)
-        walls[mode] = best
+            samples.append(wall)
+        walls[mode] = min(samples)
+        wall_stats[mode] = _wall_stats(samples)
 
     # Counter overhead: the per-channel observation counters default
     # on, so ``walls["compiled"]`` already pays them; rerun the same
     # compiled configuration with ``REPRO_OBS_COUNTERS=off`` to price
     # exactly what the counters add.
-    saved_counters = os.environ.get(OBS_COUNTERS_ENV_VAR)
-    os.environ[OBS_COUNTERS_ENV_VAR] = "off"
-    try:
-        uncounted = None
-        for _ in range(max(1, repeats)):
-            monitors = [build_monitor(f, mode="compiled") for f in formulas]
-            wall, _result = _timed_run(config, monitors=monitors)
-            uncounted = wall if uncounted is None else min(uncounted, wall)
-    finally:
-        if saved_counters is None:
-            del os.environ[OBS_COUNTERS_ENV_VAR]
-        else:
-            os.environ[OBS_COUNTERS_ENV_VAR] = saved_counters
+    uncounted = _best_compiled_wall_with_env_off(
+        OBS_COUNTERS_ENV_VAR, config, formulas, repeats
+    )
     counter_overhead_pct = (
         round(100.0 * (walls["compiled"] / uncounted - 1.0), 2)
         if uncounted and uncounted > 0
+        else None
+    )
+
+    # Span overhead, same shape: ``walls["compiled"]`` pays the
+    # end-of-run kernel-phase span capture (``REPRO_OBS_SPANS`` defaults
+    # on); rerun with it off to price what the spans add.  The capture
+    # is a run-end snapshot, never per-event, so this should sit in the
+    # noise floor — the artifact records it to prove that.
+    unspanned = _best_compiled_wall_with_env_off(
+        OBS_SPANS_ENV_VAR, config, formulas, repeats
+    )
+    span_overhead_pct = (
+        round(100.0 * (walls["compiled"] / unspanned - 1.0), 2)
+        if unspanned and unspanned > 0
         else None
     )
 
@@ -262,6 +315,7 @@ def bench_scenario(
         "trace_events": len(trace),
         "duration_cycles": config.duration_cycles,
         "run_wall_s": {mode: round(walls[mode], 4) for mode in MODES},
+        "run_wall_stats": wall_stats,
         "run_events_per_s": {
             mode: round(events / walls[mode], 1) if walls[mode] > 0 else None
             for mode in MODES
@@ -270,6 +324,11 @@ def bench_scenario(
             "compiled_counted_s": round(walls["compiled"], 4),
             "compiled_uncounted_s": round(uncounted, 4) if uncounted else None,
             "overhead_pct": counter_overhead_pct,
+        },
+        "spans": {
+            "compiled_with_spans_s": round(walls["compiled"], 4),
+            "compiled_no_spans_s": round(unspanned, 4) if unspanned else None,
+            "overhead_pct": span_overhead_pct,
         },
         "checking": {
             "replayed_events": replayed,
@@ -333,6 +392,10 @@ def run_bench(
     uncounted_s = sum(
         e["counters"]["compiled_uncounted_s"] or 0.0 for e in entries.values()
     )
+    spanned_s = sum(e["spans"]["compiled_with_spans_s"] for e in entries.values())
+    unspanned_s = sum(
+        e["spans"]["compiled_no_spans_s"] or 0.0 for e in entries.values()
+    )
     return {
         "bench": "run",
         "profile": profile,
@@ -359,6 +422,13 @@ def run_bench(
                 100.0 * (counted_s / uncounted_s - 1.0), 2
             )
             if uncounted_s > 0
+            else None,
+            # Cost of the default-on run-timeline spans (compiled
+            # whole-run wall, spans on vs REPRO_OBS_SPANS=off).
+            "span_overhead_pct": round(
+                100.0 * (spanned_s / unspanned_s - 1.0), 2
+            )
+            if unspanned_s > 0
             else None,
         },
     }
@@ -398,6 +468,12 @@ def render_bench_text(data: Dict) -> str:
             f"observation counters (default on): {overhead:+.1f}% whole-run "
             f"wall vs REPRO_OBS_COUNTERS=off"
         )
+    span_overhead = totals.get("span_overhead_pct")
+    if span_overhead is not None:
+        lines.append(
+            f"run-timeline spans (default on): {span_overhead:+.1f}% "
+            f"whole-run wall vs REPRO_OBS_SPANS=off"
+        )
     return "\n".join(lines)
 
 
@@ -409,21 +485,34 @@ def compare_bench(
     Compares the checking-path events/sec totals (both modes), each
     scenario's compiled checking throughput, and each scenario's
     whole-run kernel throughput (``run_events_per_s``, compiled mode)
-    against a previous artifact.  Returns message strings; empty means
-    no regression beyond the tolerance.  Whether a non-empty list is a
-    warning or a failure is the caller's policy (``repro bench``
+    against a previous artifact.  Every compared number is best-of-N
+    (the repeat minimum), and the whole-run gate is noise-aware: when
+    both artifacts carry ``run_wall_stats``, the tolerance widens by
+    the larger side's relative stddev, so a noisy machine produces a
+    wider gate instead of a flaky one.  Returns message strings; empty
+    means no regression beyond the tolerance.  Whether a non-empty list
+    is a warning or a failure is the caller's policy (``repro bench``
     defaults to warn; ``--regress-fail`` promotes it)."""
     warnings: List[str] = []
 
-    def check(label: str, old_value, new_value) -> None:
+    def check(label: str, old_value, new_value, extra_slack: float = 0.0) -> None:
         if not old_value or not new_value:
             return
-        if new_value < old_value * (1.0 - tolerance):
+        if new_value < old_value * (1.0 - tolerance - extra_slack):
             drop = 100.0 * (1.0 - new_value / old_value)
             warnings.append(
                 f"{label}: events/sec regressed {drop:.0f}% "
                 f"({old_value:,.0f} -> {new_value:,.0f})"
             )
+
+    def run_noise(entry: Dict) -> float:
+        """Relative repeat spread of the compiled whole-run wall."""
+        stats = entry.get("run_wall_stats", {}).get("compiled", {})
+        best = stats.get("best_s")
+        stddev = stats.get("stddev_s")
+        if not best or stddev is None:
+            return 0.0
+        return stddev / best
 
     old_totals = baseline.get("totals", {}).get("events_per_s_checking", {})
     new_totals = current.get("totals", {}).get("events_per_s_checking", {})
@@ -459,6 +548,9 @@ def compare_bench(
             f"{name}.run.compiled",
             old_scenarios[name].get("run_events_per_s", {}).get("compiled"),
             new_scenarios[name].get("run_events_per_s", {}).get("compiled"),
+            extra_slack=max(
+                run_noise(old_scenarios[name]), run_noise(new_scenarios[name])
+            ),
         )
     return warnings
 

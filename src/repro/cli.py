@@ -29,6 +29,8 @@ loc-gen`` emits a standalone LOC analyzer script for a formula.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -391,6 +393,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "of summarizing it",
     )
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="work with span logs (the JSONL files --spans-out writes)",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    export_parser = trace_sub.add_parser(
+        "export",
+        help="export a span log for an external timeline viewer",
+    )
+    export_parser.add_argument("spanlog", help="span log JSONL path")
+    export_parser.add_argument(
+        "--format",
+        default="perfetto",
+        choices=("perfetto",),
+        help="export format: perfetto emits Chrome trace-event JSON "
+        "(loads in https://ui.perfetto.dev or chrome://tracing)",
+    )
+    export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <spanlog-stem>.perfetto.json)",
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render a study report from a study JSON artifact "
+        "(repro study --json --out study.json)",
+    )
+    report_parser.add_argument("study", help="study JSON path")
+    report_parser.add_argument(
+        "--html",
+        action="store_true",
+        help="render the self-contained HTML study report (winner "
+        "tables, Pareto fronts, latency histograms, timeline summary)",
+    )
+    report_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <study-stem>.html)",
+    )
+    report_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="SNAPSHOT",
+        help="metrics snapshot JSONL to render forward-latency "
+        "histograms from",
+    )
+    report_parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="SPANLOG",
+        help="span log JSONL to embed the run-timeline summary from",
+    )
+    report_parser.add_argument(
+        "--title",
+        default="Scenario-conditioned DVS policy study",
+        help="report page title",
+    )
+
     return parser
 
 
@@ -416,7 +479,17 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the session's metrics snapshot (trace channel "
         "counters, outcome tallies, backend telemetry) to this JSONL "
-        "file when the command finishes",
+        "file when the command finishes (a span log lands next to it "
+        "as <stem>.spans<ext> unless --spans-out says otherwise)",
+    )
+    parser.add_argument(
+        "--spans-out",
+        default=None,
+        metavar="PATH",
+        help="write the session's span timeline (wall-clock "
+        "orchestration + deterministic sim-time run phases) to this "
+        "JSONL span log; feed it to 'repro trace export' or "
+        "'repro report --html'",
     )
     parser.add_argument(
         "--early-abort",
@@ -490,12 +563,24 @@ def _run_session(args, backend=None) -> "Session":
 
 
 def _write_session_metrics(session, args, meta: dict) -> None:
-    """Honor ``--metrics-out`` after a sweep/study command finishes."""
+    """Honor ``--metrics-out`` / ``--spans-out`` after a command finishes.
+
+    The span log defaults to living next to the metrics snapshot
+    (``study-metrics.jsonl`` → ``study-metrics.spans.jsonl``) so one
+    flag ships both observability artifacts; ``--spans-out`` overrides
+    the location (and works without ``--metrics-out``).
+    """
     path = getattr(args, "metrics_out", None)
-    if not path:
-        return
-    session.write_metrics(path, meta=meta)
-    print(f"wrote metrics snapshot {path}", file=sys.stderr)
+    if path:
+        session.write_metrics(path, meta=meta)
+        print(f"wrote metrics snapshot {path}", file=sys.stderr)
+    spans_path = getattr(args, "spans_out", None)
+    if not spans_path and path:
+        root, ext = os.path.splitext(path)
+        spans_path = f"{root}.spans{ext or '.jsonl'}"
+    if spans_path:
+        session.write_spans(spans_path, meta=meta)
+        print(f"wrote span log {spans_path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -889,8 +974,24 @@ def _cmd_bench(args) -> int:
 def _cmd_metrics(args) -> int:
     from repro.obs.metrics import diff_snapshots, read_snapshot, summarize_snapshot
 
-    header, records = read_snapshot(args.snapshot)
     if args.diff:
+        # Inspect both headers tolerantly first: mismatched schema
+        # versions get a named-key refusal (exit 2) instead of an
+        # unexplained parse error on whichever file is read first —
+        # silently diffing incompatible layouts is never an option.
+        header, _ = read_snapshot(args.snapshot, check_version=False)
+        base_header, _ = read_snapshot(args.diff, check_version=False)
+        if base_header.get("version") != header.get("version"):
+            print(
+                f"metrics diff: snapshot schema mismatch on key "
+                f"'version': {args.diff} has "
+                f"{base_header.get('version')!r}, {args.snapshot} has "
+                f"{header.get('version')!r} — refusing to diff "
+                f"incompatible snapshot layouts",
+                file=sys.stderr,
+            )
+            return 2
+        header, records = read_snapshot(args.snapshot)
         base_header, base_records = read_snapshot(args.diff)
         meta = {k: v for k, v in header.items() if k not in ("schema", "version")}
         print(f"metrics diff: {args.diff} -> {args.snapshot}")
@@ -899,7 +1000,64 @@ def _cmd_metrics(args) -> int:
         output = diff_snapshots(base_records, records)
         print(output if output else "no differences")
     else:
+        header, records = read_snapshot(args.snapshot)
         print(summarize_snapshot(records))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.perfetto import render_perfetto, to_perfetto, track_types
+    from repro.obs.spans import read_spans, summarize_spans
+
+    header, records = read_spans(args.spanlog)
+    meta = {k: v for k, v in header.items() if k not in ("schema", "version")}
+    out = args.out or (os.path.splitext(args.spanlog)[0] + ".perfetto.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(render_perfetto(records, meta))
+    types = track_types(to_perfetto(records, meta))
+    print(
+        f"wrote {out}: {len(records)} span(s), track types: "
+        f"{', '.join(types) if types else '(none)'}",
+        file=sys.stderr,
+    )
+    if records:
+        print(summarize_spans(records))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    if not args.html:
+        print(
+            "repro report: pass --html (the only supported renderer; "
+            "use 'repro study --markdown/--json' for the other formats)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.studies.report import render_html
+
+    with open(args.study, "r", encoding="utf-8") as handle:
+        study = json.load(handle)
+    metrics_records = None
+    if args.metrics:
+        from repro.obs.metrics import read_snapshot
+
+        metrics_records = read_snapshot(args.metrics)[1]
+    span_records = None
+    if args.spans:
+        from repro.obs.spans import read_spans
+
+        span_records = read_spans(args.spans)[1]
+    out = args.out or (os.path.splitext(args.study)[0] + ".html")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(
+            render_html(
+                study,
+                metrics_records=metrics_records,
+                span_records=span_records,
+                title=args.title,
+            )
+        )
+    print(f"wrote study report {out}", file=sys.stderr)
     return 0
 
 
@@ -935,6 +1093,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
     raise AssertionError("unreachable")  # pragma: no cover

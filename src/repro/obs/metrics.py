@@ -32,10 +32,23 @@ from repro.errors import ExperimentError
 #: Version of the JSONL snapshot schema.  Bump ONLY together with a
 #: matching update to ``src/repro/obs/SCHEMA.md`` — the nightly CI job
 #: cross-checks the two and fails hard on a mismatch.
-METRICS_SCHEMA_VERSION = 1
+#: Version 2 added the per-scenario ``latency.forward.<scenario>``
+#: histograms to session snapshots.
+METRICS_SCHEMA_VERSION = 2
 
 #: The header line's ``schema`` tag.
 SCHEMA_TAG = "repro.obs.metrics"
+
+#: Fixed bucket edges (µs) for the per-scenario forward-latency
+#: histograms (``latency.forward.<scenario>``).  Each completed outcome
+#: carrying a span-latency check observes its mean span latency once.
+#: Fixed edges keep histograms mergeable across sessions and runs; the
+#: range covers sub-25 µs spans up to the multi-ms tail a saturated
+#: scenario produces.
+FORWARD_LATENCY_EDGES_US = (
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0,
+    1600.0, 3200.0, 6400.0, 12800.0, 25600.0,
+)
 
 
 class Counter:
@@ -251,12 +264,18 @@ class MetricsRegistry:
 # ---------------------------------------------------------------------------
 # Snapshot files: read / summarize / diff
 # ---------------------------------------------------------------------------
-def read_snapshot(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+def read_snapshot(
+    path: str, check_version: bool = True
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
     """Load a snapshot file: ``(header, records)``.
 
     Raises :class:`~repro.errors.ExperimentError` on a missing/invalid
     header or an unsupported schema version — readers must not guess at
-    a format they do not know.
+    a format they do not know.  ``check_version=False`` skips only the
+    version gate (the schema tag is still required); callers use it to
+    inspect headers first and report a version mismatch with context —
+    e.g. ``repro metrics --diff`` naming the mismatched key — instead
+    of dying on whichever file is read first.
     """
     with open(path, "r", encoding="utf-8") as handle:
         lines = [line.strip() for line in handle if line.strip()]
@@ -271,7 +290,7 @@ def read_snapshot(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
             f"{path}: not a metrics snapshot (header schema tag "
             f"{SCHEMA_TAG!r} missing)"
         )
-    if header.get("version") != METRICS_SCHEMA_VERSION:
+    if check_version and header.get("version") != METRICS_SCHEMA_VERSION:
         raise ExperimentError(
             f"{path}: snapshot schema version {header.get('version')!r} "
             f"!= supported {METRICS_SCHEMA_VERSION}"

@@ -1,0 +1,180 @@
+"""Chrome trace-event export for span logs (Perfetto / chrome://tracing).
+
+:func:`to_perfetto` turns a ``repro.obs.spans`` JSONL log into the
+Chrome trace-event JSON object format, the lingua franca both
+https://ui.perfetto.dev and ``chrome://tracing`` load directly:
+
+* **wall-clock spans** become complete (``"ph": "X"``) events in one
+  "orchestration" process — one thread (track) per lane: ``session``,
+  ``backend``, ``coordinator``, ``job``, and one ``worker:*`` track per
+  worker;
+* **sim-time spans** become complete events grouped into one process
+  per job (``sim:<job>``), with one thread per microengine
+  (``me0``..``meN``), plus the ``scenario`` playback lane and the
+  ``checks`` lane — picoseconds scaled to trace microseconds;
+* a **flow event** pair (``"ph": "s"`` / ``"f"``) links each job's
+  coordinator ``grant`` span to the ``execute`` span of the worker that
+  ran it, so the hand-off is a visible arrow in the timeline.
+
+Wall timestamps are normalized to the earliest wall span in the log
+(``perf_counter`` origins are arbitrary); sim timestamps start at the
+run's own zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: The orchestration (wall-clock) process id in the exported trace.
+WALL_PID = 1
+
+#: Sim-time processes are numbered from here, one per job.
+SIM_PID_BASE = 10
+
+
+def _job_of(record: Dict[str, Any]) -> Optional[str]:
+    attrs = record.get("attrs")
+    if isinstance(attrs, dict):
+        job = attrs.get("job")
+        if isinstance(job, str):
+            return job
+    return None
+
+
+def to_perfetto(records: List[Dict[str, Any]],
+                meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Convert span records to a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = []
+
+    wall = [r for r in records if r["clock"] == "wall"]
+    sim = [r for r in records if r["clock"] == "sim"]
+    wall_zero = min((r["start"] for r in wall), default=0.0)
+
+    # -- process / thread naming ----------------------------------------
+    def name_process(pid: int, name: str) -> None:
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name},
+        })
+
+    def name_thread(pid: int, tid: int, name: str) -> None:
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name},
+        })
+
+    name_process(WALL_PID, "orchestration")
+    wall_tracks = sorted({r["track"] for r in wall})
+    wall_tid = {track: i + 1 for i, track in enumerate(wall_tracks)}
+    for track, tid in sorted(wall_tid.items(), key=lambda kv: kv[1]):
+        name_thread(WALL_PID, tid, track)
+
+    # One sim process per job; spans without a job attr share one lane.
+    sim_jobs: List[str] = []
+    for record in sim:
+        job = _job_of(record) or "(run)"
+        if job not in sim_jobs:
+            sim_jobs.append(job)
+    sim_pid = {job: SIM_PID_BASE + i for i, job in enumerate(sim_jobs)}
+    sim_tid: Dict[Tuple[str, str], int] = {}
+    for record in sim:
+        job = _job_of(record) or "(run)"
+        key = (job, record["track"])
+        if key not in sim_tid:
+            sim_tid[key] = 1 + sum(1 for k in sim_tid if k[0] == job)
+    for job, pid in sim_pid.items():
+        name_process(pid, f"sim:{job}")
+    for (job, track), tid in sorted(sim_tid.items(), key=lambda kv: kv[1]):
+        name_thread(sim_pid[job], tid, track)
+
+    # -- complete events -------------------------------------------------
+    for record in wall:
+        events.append({
+            "ph": "X",
+            "name": record["name"],
+            "cat": "wall",
+            "pid": WALL_PID,
+            "tid": wall_tid[record["track"]],
+            "ts": round((record["start"] - wall_zero) * 1e6, 3),
+            "dur": round(record["dur"] * 1e6, 3),
+            "args": dict(record.get("attrs") or {}),
+        })
+    for record in sim:
+        job = _job_of(record) or "(run)"
+        events.append({
+            "ph": "X",
+            "name": record["name"],
+            "cat": "sim",
+            "pid": sim_pid[job],
+            "tid": sim_tid[(job, record["track"])],
+            "ts": round(record["start"] / 1e6, 3),  # ps -> trace us
+            "dur": round(record["dur"] / 1e6, 3),
+            "args": dict(record.get("attrs") or {}),
+        })
+
+    # -- flow events: coordinator grant -> worker execute ----------------
+    grants = {
+        _job_of(r): r for r in wall
+        if r["name"] == "grant" and _job_of(r) is not None
+    }
+    flow_id = 0
+    for record in wall:
+        if record["name"] != "execute":
+            continue
+        job = _job_of(record)
+        grant = grants.get(job)
+        if grant is None:
+            continue
+        flow_id += 1
+        start_ts = round((grant["start"] - wall_zero) * 1e6, 3)
+        events.append({
+            "ph": "s", "id": flow_id, "name": "dispatch", "cat": "flow",
+            "pid": WALL_PID, "tid": wall_tid[grant["track"]],
+            "ts": start_ts,
+        })
+        events.append({
+            "ph": "f", "bp": "e", "id": flow_id, "name": "dispatch",
+            "cat": "flow",
+            "pid": WALL_PID, "tid": wall_tid[record["track"]],
+            "ts": round((record["start"] - wall_zero) * 1e6, 3),
+        })
+
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        trace["otherData"] = {
+            str(k): v for k, v in sorted(meta.items())
+            if k not in ("schema", "version")
+        }
+    return trace
+
+
+def render_perfetto(records: List[Dict[str, Any]],
+                    meta: Optional[Dict[str, Any]] = None) -> str:
+    """The trace as a JSON string (stable key order, trailing newline)."""
+    return json.dumps(to_perfetto(records, meta), sort_keys=True) + "\n"
+
+
+def track_types(trace: Dict[str, Any]) -> List[str]:
+    """The distinct track *types* named in an exported trace.
+
+    Collapses per-instance tracks (``worker:h:123`` → ``worker``,
+    ``me3`` → ``me``) — the acceptance-level inventory: a full study
+    trace must expose at least coordinator, worker, job and kernel-phase
+    (``me``) tracks.
+    """
+    types = set()
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "M" or event.get("name") != "thread_name":
+            continue
+        name = event.get("args", {}).get("name", "")
+        if name.startswith("worker:"):
+            types.add("worker")
+        elif name.startswith("me") and name[2:].isdigit():
+            types.add("me")
+        elif name:
+            types.add(name)
+    return sorted(types)

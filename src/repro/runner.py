@@ -26,6 +26,8 @@ from repro.dvs.tdvs import TdvsGovernor
 from repro.dvs.vf_table import VfTable
 from repro.errors import ConfigError
 from repro.npu.chip import NpuChip, RunTotals
+from repro.npu.microengine import BUSY, IDLE, STALLED
+from repro.obs.spans import spans_enabled
 from repro.power.overhead import DvsOverheadMeter
 from repro.scenarios.catalog import get_scenario
 from repro.scenarios.source import ScenarioTrafficSource
@@ -202,6 +204,75 @@ class SimulationRun:
                 raise ConfigError(f"unhandled policy {config.dvs.policy!r}")
 
         self._ran = False
+
+        # Kernel-phase spans ride existing end-of-run accounting (the
+        # per-ME IntervalAccumulator totals), never per-event hooks: one
+        # on_run_end snapshot when spans are on, zero cost when off.
+        self._span_totals: Optional[List] = None
+        if spans_enabled():
+            self.sim.on_run_end.append(self._capture_span_totals)
+
+    def _capture_span_totals(self) -> None:
+        self._span_totals = [
+            (me.index, me.role, me.states.totals_ps()) for me in self.chip.mes
+        ]
+
+    def sim_spans(self) -> List[Dict]:
+        """Deterministic sim-clock span records for the finished run.
+
+        Scenario playback segments (one span per segment on the
+        ``scenario`` track) plus per-ME busy/stall/idle windows laid
+        sequentially on each ``me<k>`` track.  The ME windows are
+        *aggregates* — total time charged to each state, drawn as
+        adjacent blocks — not an event-accurate interleaving; deriving
+        them from :meth:`~repro.sim.stats.IntervalAccumulator.totals_ps`
+        is what keeps span overhead out of the kernel hot loop.  Every
+        value is integer picoseconds from run start, so records are
+        byte-identical across backends and monitor modes.  Empty when
+        spans are disabled or the run has not finished.
+        """
+        if self._span_totals is None:
+            return []
+        spans: List[Dict] = []
+        end_ps = self.sim.now_ps
+        if self.config.traffic.scenario is not None:
+            scenario = get_scenario(self.config.traffic.scenario)
+            start = 0
+            for index, (seg_end, segment) in enumerate(
+                scenario.segment_spans_ps(self.duration_ps)
+            ):
+                seg_end = min(seg_end, end_ps)
+                if seg_end <= start:
+                    break
+                spans.append({
+                    "clock": "sim",
+                    "name": f"segment{index}",
+                    "track": "scenario",
+                    "start": start,
+                    "dur": seg_end - start,
+                    "attrs": {
+                        "load_mbps": segment.offered_load_mbps,
+                        "process": segment.process,
+                    },
+                })
+                start = seg_end
+        for index, role, totals in self._span_totals:
+            track = f"me{index}"
+            start = 0
+            for state in (BUSY, STALLED, IDLE):
+                dur = int(totals.get(state, 0))
+                if dur <= 0:
+                    continue
+                spans.append({
+                    "clock": "sim",
+                    "name": state,
+                    "track": track,
+                    "start": start,
+                    "dur": dur,
+                    "attrs": {"role": role},
+                })
+                start += dur
+        return spans
 
     @property
     def duration_ps(self) -> int:

@@ -101,7 +101,10 @@ class Simulator:
         #: Called (no arguments) every time :meth:`run` returns, before
         #: control reaches the caller.  Components that batch work across
         #: events (fused compute blocks) register here so their counters
-        #: are settled whenever results can be read.
+        #: are settled whenever results can be read.  This is also the
+        #: sanctioned hook for end-of-run derivation — kernel-phase span
+        #: capture (:mod:`repro.obs.spans`) snapshots the per-ME state
+        #: totals here rather than instrumenting the event loop.
         self.on_run_end: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------

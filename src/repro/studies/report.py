@@ -1,14 +1,19 @@
-"""Rendering for policy maps: text tables, markdown reports, JSON.
+"""Rendering for policy maps: text tables, markdown, JSON, HTML.
 
 The text form goes through :func:`repro.analysis.report.format_table`,
 keeping study output visually consistent with every figure reproduction;
-the markdown form is the CI-artifact / README-worked-example format.
+the markdown form is the CI-artifact / README-worked-example format; the
+HTML form (:func:`render_html`) is the self-contained nightly study
+report — winner tables, Pareto fronts, latency histograms from the
+metrics snapshot and a span-timeline summary, all inline, no external
+assets.
 """
 
 from __future__ import annotations
 
+import html as _html
 import json
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
 from repro.studies.policymap import CandidateSummary, PolicyMap, ScenarioVerdict
@@ -123,3 +128,205 @@ def render_markdown(policy_map: PolicyMap, pareto: bool = True) -> str:
 def render_json(policy_map: PolicyMap) -> str:
     """The study report as pretty-printed JSON."""
     return json.dumps(policy_map.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML study report
+# ---------------------------------------------------------------------------
+_HTML_STYLE = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 64em; color: #1a1a2e; padding: 0 1em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #3a5a8c; }
+h2 { font-size: 1.2em; margin-top: 1.6em; color: #3a5a8c; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #c8d0dc; padding: 0.25em 0.6em;
+         text-align: right; }
+th { background: #eef2f7; }
+td:first-child, th:first-child { text-align: left; }
+tr.ungated td { color: #a0530a; }
+.bar { background: #4a7ab5; height: 0.85em; display: inline-block;
+       vertical-align: middle; min-width: 1px; }
+.bucket { color: #555; font-family: monospace; }
+pre { background: #f4f6f9; padding: 0.8em; overflow-x: auto;
+      font-size: 12px; }
+.meta { color: #667; font-size: 0.9em; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value))
+
+
+def _num(value: Any, fmt: str = "{:.3f}", dash: str = "&ndash;") -> str:
+    if value is None or not isinstance(value, (int, float)) or value != value:
+        return dash
+    return fmt.format(value)
+
+
+def _candidate_cells(candidate: Dict[str, Any]) -> List[str]:
+    metrics = candidate.get("metrics", {})
+    return [
+        _esc(candidate.get("policy", "?")),
+        _num(candidate.get("threshold_mbps"), "{:g}"),
+        _num(candidate.get("window_cycles"), "{:.0f}"),
+        _num(metrics.get("power_w")),
+        _num(metrics.get("loss_fraction"), "{:.2%}"),
+        _num(metrics.get("latency_mean_us"), "{:.1f}"),
+        "yes" if candidate.get("passed") else "no",
+    ]
+
+
+def _winner_rows(study: Dict[str, Any]) -> List[str]:
+    rows = []
+    for verdict in study.get("scenarios", []):
+        chosen = verdict.get("winner") or verdict.get("fallback") or {}
+        ungated = verdict.get("winner") is None
+        metrics = chosen.get("metrics", {})
+        baseline = (verdict.get("baseline") or {}).get("metrics", {})
+        policy = _esc(chosen.get("policy", "?")) + (
+            " <em>(ungated)</em>" if ungated else ""
+        )
+        cells = [
+            _esc(verdict.get("scenario", "?")),
+            policy,
+            _num(chosen.get("threshold_mbps"), "{:g}"),
+            _num(chosen.get("window_cycles"), "{:.0f}"),
+            _num(metrics.get("power_w")),
+            _num(baseline.get("power_w")),
+            _num(verdict.get("power_saving_fraction"), "{:.1%}"),
+            _num(metrics.get("loss_fraction"), "{:.2%}"),
+            _num(chosen.get("latency_violation_fraction"), "{:.2%}"),
+            f"{verdict.get('candidates_passing', 0)}"
+            f"/{len(verdict.get('candidates', []))}",
+        ]
+        css = ' class="ungated"' if ungated else ""
+        rows.append(
+            f"<tr{css}>" + "".join(f"<td>{c}</td>" for c in cells) + "</tr>"
+        )
+    return rows
+
+
+def _histogram_section(records: Sequence[Dict[str, Any]]) -> List[str]:
+    out: List[str] = []
+    histograms = [
+        r for r in records
+        if r.get("type") == "histogram"
+        and str(r.get("name", "")).startswith("latency.forward.")
+    ]
+    if not histograms:
+        return out
+    out.append("<h2>Forward-latency distributions</h2>")
+    out.append(
+        '<p class="meta">Mean forward-span latency per completed outcome '
+        "(&micro;s), one observation per job carrying a span-latency "
+        "check; fixed-edge histograms from the session metrics "
+        "snapshot.</p>"
+    )
+    for record in histograms:
+        scenario = str(record["name"])[len("latency.forward."):]
+        edges = record.get("edges", [])
+        counts = record.get("counts", [])
+        total = record.get("count", 0) or 1
+        peak = max(counts) if counts else 1
+        out.append(f"<h3>{_esc(scenario)}</h3>")
+        out.append("<table>")
+        out.append(
+            "<tr><th>bucket (&micro;s)</th><th>count</th><th></th></tr>"
+        )
+        for i, count in enumerate(counts):
+            if i == 0:
+                label = f"&le; {edges[0]:g}" if edges else "all"
+            elif i == len(edges):
+                label = f"&gt; {edges[-1]:g}"
+            else:
+                label = f"{edges[i - 1]:g} &ndash; {edges[i]:g}"
+            width = 100.0 * count / peak if peak else 0.0
+            bar = (
+                f'<span class="bar" style="width:{width:.1f}%"></span>'
+                if count else ""
+            )
+            out.append(
+                f'<tr><td class="bucket">{label}</td><td>{count}</td>'
+                f'<td style="width:20em;text-align:left">{bar}</td></tr>'
+            )
+        mean = (record.get("sum", 0.0) or 0.0) / total
+        out.append(
+            f'<tr><td>mean</td><td colspan="2" style="text-align:left">'
+            f"{mean:.1f} &micro;s over {record.get('count', 0)} "
+            f"outcome(s)</td></tr>"
+        )
+        out.append("</table>")
+    return out
+
+
+def render_html(
+    study: Union[PolicyMap, Dict[str, Any]],
+    metrics_records: Optional[Sequence[Dict[str, Any]]] = None,
+    span_records: Optional[Sequence[Dict[str, Any]]] = None,
+    title: str = "Scenario-conditioned DVS policy study",
+) -> str:
+    """The study as one self-contained HTML page.
+
+    Works from a live :class:`PolicyMap` or its ``to_dict()`` form (a
+    loaded ``study.json``), so the nightly report renders from the same
+    byte-gated artifact the JSON diff checks.  ``metrics_records`` (a
+    metrics snapshot's record list) adds the forward-latency histogram
+    charts; ``span_records`` (a span log's record list) adds the
+    embedded timeline summary.  Both sections are simply omitted when
+    their input is absent — the page never requires them.
+    """
+    from repro.obs.spans import summarize_spans
+
+    if isinstance(study, PolicyMap):
+        study = study.to_dict()
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">Objective: <strong>'
+        f'{_esc(study.get("objective", "?"))}</strong> &mdash; winners are '
+        "the best configuration whose LOC assertions hold and whose loss "
+        "stays within the margin of the ungoverned baseline.</p>",
+        "<h2>Per-scenario winners</h2>",
+        "<table>",
+        "<tr>" + "".join(f"<th>{_esc(h)}</th>" for h in _MAP_HEADERS) + "</tr>",
+    ]
+    parts.extend(_winner_rows(study))
+    parts.append("</table>")
+
+    parts.append("<h2>Pareto fronts (power / loss / latency)</h2>")
+    for verdict in study.get("scenarios", []):
+        parts.append(f"<h3>{_esc(verdict.get('scenario', '?'))}</h3>")
+        parts.append("<table>")
+        headers = (
+            "policy", "thr Mbps", "window", "power W", "loss", "lat us",
+            "gated",
+        )
+        parts.append(
+            "<tr>" + "".join(f"<th>{_esc(h)}</th>" for h in headers) + "</tr>"
+        )
+        for candidate in verdict.get("pareto", []):
+            parts.append(
+                "<tr>"
+                + "".join(f"<td>{c}</td>" for c in _candidate_cells(candidate))
+                + "</tr>"
+            )
+        parts.append("</table>")
+
+    if metrics_records:
+        parts.extend(_histogram_section(metrics_records))
+
+    if span_records:
+        parts.append("<h2>Run timeline summary</h2>")
+        parts.append(
+            '<p class="meta">Aggregated span log (wall-clock orchestration '
+            "lanes + deterministic sim-time run phases); export the full "
+            "timeline with <code>repro trace export --format "
+            "perfetto</code>.</p>"
+        )
+        parts.append(f"<pre>{_esc(summarize_spans(list(span_records)))}</pre>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

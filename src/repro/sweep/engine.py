@@ -113,6 +113,7 @@ def run_job(job: Job) -> SweepOutcome:
     run = SimulationRun(config, monitors=monitors, gates=gates)
     result = run.run()
     channel_stats = run.bus.channel_stats()
+    check_results = [monitor.finish() for monitor in check_monitors]
     obs = None
     if channel_stats:
         obs = {
@@ -121,13 +122,36 @@ def run_job(job: Job) -> SweepOutcome:
                 for name in sorted(channel_stats)
             },
         }
+    # Deterministic sim-clock spans (scenario segments, per-ME phase
+    # windows, check-evaluation windows) ride the outcome like the
+    # channel counters: same integer-picosecond values from every
+    # backend and monitor mode, so byte-identity holds.  Wall-clock
+    # spans never go through outcomes — they stay in the per-process
+    # recorder (see repro.obs.spans).
+    spans = run.sim_spans()
+    if spans:
+        end_ps = run.sim.now_ps
+        for check in check_results:
+            spans.append({
+                "clock": "sim",
+                "name": "check",
+                "track": "checks",
+                "start": 0,
+                "dur": end_ps,
+                "attrs": {
+                    "formula": check.formula_text,
+                    "instances": check.instances_checked,
+                },
+            })
+        obs = dict(obs or {})
+        obs["spans"] = spans
     return SweepOutcome(
         job_id=job.job_id,
         label=job.label,
         result=result,
         power_dist=power_monitor.finish() if power_monitor else None,
         throughput_dist=throughput_monitor.finish() if throughput_monitor else None,
-        check_results=[monitor.finish() for monitor in check_monitors],
+        check_results=check_results,
         obs=obs,
     )
 

@@ -41,10 +41,14 @@ class SweepOutcome:
     #: Run-level observability payload: per-channel ``published`` event
     #: counts (the observer-independent half of
     #: :meth:`repro.trace.bus.TraceBus.channel_stats` — delivery/shed
-    #: accounting varies with subscriber topology and stays bus-local);
-    #: ``None`` when counters were off or nothing subscribed.  Contents
-    #: are deterministic — event counts, never wall-clock — so outcomes
-    #: stay bit-identical across backends and monitor modes.
+    #: accounting varies with subscriber topology and stays bus-local)
+    #: and, under ``spans`` when ``REPRO_OBS_SPANS`` is on, the run's
+    #: deterministic sim-time span records (scenario segments, per-ME
+    #: phase windows, check-evaluation windows — see
+    #: :mod:`repro.obs.spans`); ``None`` when nothing was collected.
+    #: Contents are deterministic — event counts and integer-picosecond
+    #: sim times, never wall-clock — so outcomes stay bit-identical
+    #: across backends and monitor modes.
     obs: Optional[Dict[str, Any]] = None
 
     @property
