@@ -90,6 +90,7 @@ class ProcessBackend(ExecutionBackend):
             remaining = set()
             submitted_at = {}
             job_ids = {}
+            submit_order = {}
             for job in jobs:
                 with spans.wall_span(
                     "grant", "coordinator",
@@ -101,9 +102,15 @@ class ProcessBackend(ExecutionBackend):
                 remaining.add(future)
                 submitted_at[future] = time.perf_counter()
                 job_ids[future] = job.job_id
+                submit_order[future] = len(submit_order)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
+                # ``finished`` is a set; its iteration order follows
+                # object hashes, not anything reproducible.  Drain each
+                # completion batch in submission order so the outcome
+                # stream (and the span log riding it) is stable across
+                # runs and interpreters.
+                for future in sorted(finished, key=submit_order.__getitem__):
                     self.jobs_run += 1
                     # Submit→completion as seen from the coordinator;
                     # the child process's own wall spans stay in the
