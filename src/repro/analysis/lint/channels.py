@@ -1,0 +1,136 @@
+"""TraceBus channel registry, generated statically from emitter sites.
+
+The LOC analyzer needs to know which event/channel names actually
+exist on the bus so it can flag formulas that reference unknown events
+(LOC203).  Rather than hand-maintaining a list, this module extracts
+the registry from the AST of the producer modules: every
+``bus.emitter("<name>")`` first argument and every
+``.bind_trace(bus, "<name>")`` second argument in
+``src/repro/npu`` and ``src/repro/trace``.
+
+Dynamic names are turned into patterns:
+
+* f-strings like ``f"mem_{self.name}"`` become the prefix pattern
+  ``mem_*``;
+* ``prefixed_event_name("pipeline", index)`` becomes the regex class
+  ``m<k>_pipeline`` (``m0_pipeline``, ``m1_pipeline``, ...);
+* ``a or b`` fallback expressions contribute both operands.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.analysis.lint.core import Module, ModuleCache, dotted_name
+
+#: ``src/repro`` subdirectories that contain trace producers.
+PRODUCER_SCOPE = ("npu", "trace")
+
+_PIPELINE_RE = re.compile(r"^m\d+_pipeline$")
+
+
+@dataclass
+class ChannelRegistry:
+    """Statically known TraceBus channel names and name patterns."""
+
+    exact: Set[str] = field(default_factory=set)
+    prefixes: Set[str] = field(default_factory=set)
+    #: rel_path:line provenance per discovered name/pattern (debugging).
+    sources: List[str] = field(default_factory=list)
+
+    def knows(self, name: str) -> bool:
+        """True when ``name`` matches a discovered channel or pattern."""
+        if name in self.exact:
+            return True
+        if _PIPELINE_RE.match(name) and "m<k>_pipeline" in self.prefixes:
+            return True
+        return any(
+            name.startswith(prefix.rstrip("*")) and name != prefix.rstrip("*")
+            for prefix in self.prefixes
+            if prefix.endswith("*")
+        )
+
+    def describe(self) -> str:
+        """Stable human-readable summary of the registry."""
+        names = sorted(self.exact) + sorted(self.prefixes)
+        return ", ".join(names)
+
+
+def _string_forms(node: ast.AST) -> List[str]:
+    """Channel name(s)/pattern(s) an emitter-name expression can take."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.JoinedStr):
+        # f"mem_{self.name}" -> prefix pattern "mem_*".
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                return [f"{prefix}*"] if prefix else []
+        return [prefix]
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "prefixed_event_name":
+            if (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "pipeline"
+            ):
+                return ["m<k>_pipeline"]
+        return []
+    if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+        out: List[str] = []
+        for operand in node.values:
+            out.extend(_string_forms(operand))
+        return out
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        # "m%d_pipeline" % k style — treat the literal head as a prefix.
+        if isinstance(node.left, ast.Constant) and isinstance(node.left.value, str):
+            head = node.left.value.split("%")[0]
+            if head:
+                return [f"{head}*"]
+    return []
+
+
+def _emitter_name_args(node: ast.Call) -> Optional[ast.AST]:
+    """The channel-name argument of an emitter/bind call, if any."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "emitter" and node.args:
+        return node.args[0]
+    if func.attr == "bind_trace" and len(node.args) >= 2:
+        return node.args[1]
+    return None
+
+
+def _scan_module(module: Module, registry: ChannelRegistry) -> None:
+    if module.tree is None:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name_arg = _emitter_name_args(node)
+        if name_arg is None:
+            continue
+        for form in _string_forms(name_arg):
+            if form == "m<k>_pipeline":
+                registry.prefixes.add(form)
+            elif form.endswith("*"):
+                registry.prefixes.add(form)
+            else:
+                registry.exact.add(form)
+            registry.sources.append(f"{module.rel_path}:{node.lineno} {form}")
+
+
+def build_channel_registry(cache: ModuleCache) -> ChannelRegistry:
+    """Extract the channel registry from the producer modules."""
+    registry = ChannelRegistry()
+    for module in cache.modules_under(*PRODUCER_SCOPE):
+        _scan_module(module, registry)
+    registry.sources.sort()
+    return registry

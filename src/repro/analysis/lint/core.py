@@ -1,0 +1,256 @@
+"""Shared infrastructure for the static invariant checker.
+
+One :class:`ModuleCache` per lint run holds exactly one ``ast.parse``
+per file — every pass (determinism, LOC formulas, wire/schema) reads
+the same parsed :class:`Module` objects, so adding a pass never adds a
+parse.  Findings are plain records carrying ``file:line``, a stable
+rule code, the message, and a fix hint; suppression is per-line via
+``# repro: noqa(RULE[,RULE...])`` (or a bare ``# repro: noqa`` for
+every rule on that line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import AnalysisError
+
+#: Matches the suppression comment; group 1 is the optional rule list.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\(([A-Z0-9, ]+)\))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    ``code`` is the stable rule identifier (``DET101`` ...); ``hint``
+    is the suggested fix, rendered after the message in every format.
+    ``suppressed`` marks findings silenced by a ``# repro: noqa``
+    comment — they are reported in summaries but never fail a build.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int = 0
+    col: int = 0
+    hint: str = ""
+    suppressed: bool = False
+
+    def location(self) -> str:
+        """``file:line`` (just the file for project-level findings)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (the ``--format json`` record schema)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+
+class Module:
+    """One parsed source file: path, source, AST, and noqa lines."""
+
+    def __init__(self, path: Path, rel_path: str, source: str):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        #: line number -> set of suppressed rule codes ("*" = all).
+        self.noqa: Dict[int, Set[str]] = _collect_noqa(source)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """True when ``line`` carries a noqa comment covering ``code``."""
+        codes = self.noqa.get(line)
+        if codes is None:
+            return False
+        return "*" in codes or code.upper() in codes
+
+
+def _collect_noqa(source: str) -> Dict[int, Set[str]]:
+    """Per-line ``# repro: noqa(...)`` suppressions, via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps noqa-looking text
+    inside string literals from suppressing anything.
+    """
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            if match.group(1):
+                codes = {c.strip().upper() for c in match.group(1).split(",")}
+                out.setdefault(line, set()).update(c for c in codes if c)
+            else:
+                out.setdefault(line, set()).add("*")
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file the tokenizer cannot finish still lints (the AST pass
+        # reports the syntax error); it just has no suppressions.
+        pass
+    return out
+
+
+class ModuleCache:
+    """Parse-once cache of :class:`Module` objects, keyed by path.
+
+    ``root`` is the repository root (the directory containing
+    ``src/repro``); ``rel_path`` in findings is always relative to it.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self._modules: Dict[Path, Module] = {}
+
+    @property
+    def package_root(self) -> Path:
+        """The ``src/repro`` package directory under ``root``."""
+        return self.root / "src" / "repro"
+
+    def get(self, path: Path) -> Module:
+        """The parsed module for ``path`` (one parse, ever)."""
+        path = Path(path)
+        module = self._modules.get(path)
+        if module is None:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError(f"cannot read {path}: {exc}") from None
+            try:
+                rel = str(path.relative_to(self.root))
+            except ValueError:
+                rel = str(path)
+            module = Module(path, rel, source)
+            self._modules[path] = module
+        return module
+
+    def get_optional(self, path: Path) -> Optional[Module]:
+        """Like :meth:`get`, but ``None`` for a missing file."""
+        if not Path(path).is_file():
+            return None
+        return self.get(path)
+
+    def modules_under(self, *subdirs: str) -> List[Module]:
+        """Every ``.py`` module under the named ``src/repro`` subdirs."""
+        out: List[Module] = []
+        for subdir in subdirs:
+            base = self.package_root / subdir
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                out.append(self.get(path))
+        return out
+
+    def parsed_count(self) -> int:
+        """How many files this cache has parsed (observability/tests)."""
+        return len(self._modules)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not silenced by a suppression comment."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings a ``# repro: noqa`` comment silenced."""
+        return [f for f in self.findings if f.suppressed]
+
+
+def apply_suppressions(
+    module: Module, findings: Iterable[Finding]
+) -> List[Finding]:
+    """Mark findings silenced by the module's noqa comments."""
+    out = []
+    for finding in findings:
+        if module.suppresses(finding.line, finding.code):
+            finding = Finding(
+                code=finding.code,
+                message=finding.message,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                hint=finding.hint,
+                suppressed=True,
+            )
+        out.append(finding)
+    return out
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted module/object path, from imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    randint as ri`` maps ``ri -> random.randint``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def canonical_call_name(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[str]:
+    """The canonical dotted name a call resolves to, or ``None``.
+
+    Resolves the leading name through the module's import aliases:
+    with ``import numpy as np``, ``np.random.seed(...)`` canonicalizes
+    to ``numpy.random.seed``.
+    """
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    canonical_head = aliases.get(head, head)
+    return f"{canonical_head}.{rest}" if rest else canonical_head

@@ -1,0 +1,93 @@
+"""Rendering for lint results: ``text`` / ``json`` / ``github``.
+
+``github`` emits workflow-command annotations
+(``::error file=...,line=...::message``) so findings land inline on
+the PR diff when the CI lane runs with ``--format github``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.lint.core import Finding, LintResult
+
+FORMATS = ("text", "json", "github")
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines: List[str] = []
+    for finding in result.active:
+        lines.append(
+            f"{finding.location()}: {finding.code} {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for finding in result.suppressed:
+        lines.append(
+            f"{finding.location()}: {finding.code} {finding.message} "
+            "[suppressed]"
+        )
+    lines.append(
+        f"repro lint: {len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document (the ``--format json`` schema)."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "files_scanned": result.files_scanned,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions ``::error`` annotations for active findings."""
+    lines: List[str] = []
+    for finding in result.active:
+        properties = f"file={_escape_property(finding.path)}"
+        if finding.line:
+            properties += f",line={finding.line}"
+        message = f"{finding.code} {finding.message}"
+        if finding.hint:
+            message += f" (hint: {finding.hint})"
+        lines.append(f"::error {properties}::{_escape_data(message)}")
+    lines.append(
+        f"repro lint: {len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    """Dispatch on ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "github":
+        return render_github(result)
+    return render_text(result)

@@ -1,0 +1,383 @@
+"""Wire/schema consistency: protocol keys and schema-version drift.
+
+The distributed backend's coordinator and worker live in different
+files and speak length-prefixed JSON; the metrics/span snapshot
+writers version their headers against constants that are *also*
+documented in ``obs/SCHEMA.md``.  Nothing ties these together at
+runtime until a fleet actually drifts — these passes tie them together
+at lint time.
+
+Rules
+-----
+WIRE301  schema-version constant / SCHEMA.md / writer literal drift
+WIRE302  protocol key read that no peer message ever sends
+WIRE303  outcome telemetry keys drift from ``OUTCOME_TELEMETRY_KEYS``
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.core import Finding, Module, ModuleCache, dotted_name
+
+#: ``(constant name, defining module, SCHEMA.md label)`` triples.
+SCHEMA_CONSTANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("METRICS_SCHEMA_VERSION", "obs/metrics.py", "Schema version"),
+    ("SPAN_SCHEMA_VERSION", "obs/spans.py", "Span schema version"),
+)
+
+
+def _int_assignment(module: Module, name: str) -> Optional[Tuple[int, int]]:
+    """``(value, lineno)`` of a module-level ``NAME = <int>`` assign."""
+    if module.tree is None:
+        return None
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+        ):
+            return node.value.value, node.lineno
+    return None
+
+
+def _documented_version(schema_md: str, label: str) -> Optional[int]:
+    """The ``**<label>:** N`` value documented in SCHEMA.md."""
+    match = re.search(
+        rf"\*\*{re.escape(label)}:\*\*\s*(\d+)", schema_md
+    )
+    return int(match.group(1)) if match else None
+
+
+def _version_literal_findings(module: Module, constant: str) -> List[Finding]:
+    """Flag ``"version": <int literal>`` in writer dict literals.
+
+    Header writers must spell the schema version as a ``Name``
+    reference to the constant — an inline integer silently detaches
+    the written file from the documented/gated version.
+    """
+    findings: List[Finding] = []
+    if module.tree is None:
+        return findings
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "version"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                findings.append(
+                    Finding(
+                        code="WIRE301",
+                        message=(
+                            f'"version": {value.value} written as an int '
+                            f"literal instead of {constant}"
+                        ),
+                        path=module.rel_path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                        hint=f'write "version": {constant} so gates track it',
+                    )
+                )
+    return findings
+
+
+def check_schema_versions(cache: ModuleCache) -> List[Finding]:
+    """WIRE301 over the obs schema constants, SCHEMA.md, and writers."""
+    findings: List[Finding] = []
+    obs_dir = cache.package_root / "obs"
+    if not obs_dir.is_dir():
+        return findings  # no obs subsystem in this tree
+    schema_md_path = obs_dir / "SCHEMA.md"
+    try:
+        schema_md = schema_md_path.read_text(encoding="utf-8")
+    except OSError:
+        return [
+            Finding(
+                code="WIRE301",
+                message="obs/SCHEMA.md is missing",
+                path="src/repro/obs/SCHEMA.md",
+                hint="restore the schema contract document",
+            )
+        ]
+
+    for constant, rel_module, label in SCHEMA_CONSTANTS:
+        module = cache.get_optional(cache.package_root / rel_module)
+        if module is None:
+            findings.append(
+                Finding(
+                    code="WIRE301",
+                    message=f"{rel_module} (defines {constant}) is missing",
+                    path=f"src/repro/{rel_module}",
+                    hint="restore the module or update SCHEMA_CONSTANTS",
+                )
+            )
+            continue
+        assignment = _int_assignment(module, constant)
+        documented = _documented_version(schema_md, label)
+        if assignment is None:
+            findings.append(
+                Finding(
+                    code="WIRE301",
+                    message=(
+                        f"{constant} has no module-level integer assignment"
+                    ),
+                    path=module.rel_path,
+                    hint=f"define {constant} = <int> at module scope",
+                )
+            )
+        elif documented is None:
+            findings.append(
+                Finding(
+                    code="WIRE301",
+                    message=(
+                        f'SCHEMA.md documents no "**{label}:** N" line for '
+                        f"{constant}"
+                    ),
+                    path="src/repro/obs/SCHEMA.md",
+                    hint=f"document the current value ({assignment[0]})",
+                )
+            )
+        elif assignment[0] != documented:
+            findings.append(
+                Finding(
+                    code="WIRE301",
+                    message=(
+                        f"{constant} = {assignment[0]} but SCHEMA.md "
+                        f"documents {label} {documented}"
+                    ),
+                    path=module.rel_path,
+                    line=assignment[1],
+                    hint=(
+                        "bump SCHEMA.md (and its changelog) in the same "
+                        "commit as the constant"
+                    ),
+                )
+            )
+        findings.extend(_version_literal_findings(module, constant))
+    return findings
+
+
+# -- protocol key extraction ---------------------------------------------
+
+
+def _dict_literal_keys(node: ast.Dict) -> Optional[Set[str]]:
+    """String keys of a dict literal; ``None`` if any key is dynamic."""
+    keys: Set[str] = set()
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+        else:
+            return None
+    return keys
+
+
+def sent_message_keys(module: Module) -> Set[str]:
+    """Keys this side can put on the wire.
+
+    A *message literal* is any dict literal containing a ``"type"``
+    string key (they are only ever built to be sent).  Names assigned
+    a message literal also contribute later ``var["key"] = ...``
+    subscript stores (the optional-key pattern, e.g. ``spans``).
+    """
+    sent: Set[str] = set()
+    message_vars: Set[str] = set()
+    if module.tree is None:
+        return sent
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Dict):
+            keys = _dict_literal_keys(node)
+            if keys is not None and "type" in keys:
+                sent.update(keys)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            keys = _dict_literal_keys(node.value)
+            if keys is not None and "type" in keys:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        message_vars.add(target.id)
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Subscript)
+        ):
+            sub = node.targets[0]
+            if (
+                isinstance(sub.value, ast.Name)
+                and sub.value.id in message_vars
+                and isinstance(sub.slice, ast.Constant)
+                and isinstance(sub.slice.value, str)
+            ):
+                sent.add(sub.slice.value)
+    return sent
+
+
+def _recv_vars(tree: ast.Module) -> Set[str]:
+    """Names assigned from ``recv_message(...)`` calls."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            name = dotted_name(node.value.func)
+            if name is not None and name.split(".")[-1] == "recv_message":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+def _is_recv_expr(node: ast.AST, recv_vars: Set[str]) -> bool:
+    """True for ``msg`` or ``(msg or {})`` style receiver expressions."""
+    if isinstance(node, ast.Name):
+        return node.id in recv_vars
+    if isinstance(node, ast.BoolOp):
+        return any(_is_recv_expr(v, recv_vars) for v in node.values)
+    return False
+
+
+def read_message_keys(module: Module) -> Dict[str, List[int]]:
+    """Key -> line numbers of reads off ``recv_message`` results."""
+    reads: Dict[str, List[int]] = {}
+    if module.tree is None:
+        return reads
+    recv = _recv_vars(module.tree)
+    if not recv:
+        return reads
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and _is_recv_expr(node.func.value, recv)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            reads.setdefault(node.args[0].value, []).append(node.lineno)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and _is_recv_expr(node.value, recv)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            reads.setdefault(node.slice.value, []).append(node.lineno)
+    return reads
+
+
+def check_protocol_keys(cache: ModuleCache) -> List[Finding]:
+    """WIRE302/WIRE303 over the coordinator↔worker message vocabulary."""
+    findings: List[Finding] = []
+    worker = cache.get_optional(
+        cache.package_root / "backends" / "worker.py"
+    )
+    coordinator = cache.get_optional(
+        cache.package_root / "backends" / "distributed.py"
+    )
+    if worker is None or coordinator is None:
+        return findings  # no distributed backend in this tree
+
+    pairs = (
+        # (reader, writer, direction label)
+        (coordinator, worker, "worker->coordinator"),
+        (worker, coordinator, "coordinator->worker"),
+    )
+    for reader, writer, direction in pairs:
+        sent = sent_message_keys(writer)
+        for key, lines in sorted(read_message_keys(reader).items()):
+            if key in sent:
+                continue
+            findings.append(
+                Finding(
+                    code="WIRE302",
+                    message=(
+                        f"reads message key {key!r} that no {direction} "
+                        "message ever sends"
+                    ),
+                    path=reader.rel_path,
+                    line=lines[0],
+                    hint=(
+                        "add the key to the peer's message (and the "
+                        "protocol.py message table), or drop the read"
+                    ),
+                )
+            )
+
+    findings.extend(_check_telemetry_keys(worker, coordinator))
+    return findings
+
+
+def _check_telemetry_keys(
+    worker: Module, coordinator: Module
+) -> List[Finding]:
+    """WIRE303: outcome telemetry payload vs ``OUTCOME_TELEMETRY_KEYS``."""
+    # Imported at call time so fixture-level tests can exercise this
+    # module without the backends stack on the path.
+    from repro.backends.protocol import OUTCOME_TELEMETRY_KEYS
+
+    findings: List[Finding] = []
+    declared = set(OUTCOME_TELEMETRY_KEYS)
+
+    if worker.tree is not None:
+        for node in ast.walk(worker.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            keys = _dict_literal_keys(node)
+            if keys is None or "telemetry" not in keys:
+                continue
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "telemetry"
+                    and isinstance(value, ast.Dict)
+                ):
+                    payload = _dict_literal_keys(value) or set()
+                    for extra in sorted(payload - declared):
+                        findings.append(
+                            Finding(
+                                code="WIRE303",
+                                message=(
+                                    f"telemetry key {extra!r} is not in "
+                                    "OUTCOME_TELEMETRY_KEYS"
+                                ),
+                                path=worker.rel_path,
+                                line=value.lineno,
+                                hint=(
+                                    "declare it in protocol.py so "
+                                    "coordinators know to absorb it"
+                                ),
+                            )
+                        )
+
+    # Every declared key must appear as a string constant in the
+    # coordinator (the absorb mapping) or it is silently dropped.
+    coordinator_strings: Set[str] = set()
+    if coordinator.tree is not None:
+        for node in ast.walk(coordinator.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                coordinator_strings.add(node.value)
+    for key in sorted(declared - coordinator_strings):
+        findings.append(
+            Finding(
+                code="WIRE303",
+                message=(
+                    f"declared telemetry key {key!r} is never referenced "
+                    "by the coordinator — worker reports it, nobody sums it"
+                ),
+                path=coordinator.rel_path,
+                hint="absorb the key in absorb_worker_telemetry",
+            )
+        )
+    return findings
+
+
+def check_wire(cache: ModuleCache) -> List[Finding]:
+    """All wire/schema passes."""
+    return check_schema_versions(cache) + check_protocol_keys(cache)

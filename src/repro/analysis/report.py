@@ -75,10 +75,10 @@ def format_curve_family(
     for name, points in curves:
         if [x for x, _ in points] != base_x:
             raise AnalysisError(f"curve {name!r} has a mismatched x-axis")
-    headers = [x_label] + [name for name, _ in curves]
+    headers = [x_label, *(name for name, _ in curves)]
     rows = []
     for index, x in enumerate(base_x):
-        rows.append([x] + [f"{points[index][1]:.4f}" for _, points in curves])
+        rows.append([x, *(f"{points[index][1]:.4f}" for _, points in curves)])
     rows = _thin(rows, max_rows)
     return format_table(headers, rows, title=title)
 
@@ -92,10 +92,10 @@ def format_surface(
     title: Optional[str] = None,
 ) -> str:
     """Render a 2-D surface as a grid table (Figures 8/9 text form)."""
-    headers = [f"{row_label} \\ {col_label}"] + [_fmt(c) for c in col_values]
+    headers = [f"{row_label} \\ {col_label}", *(_fmt(c) for c in col_values)]
     rows = []
     for row_value, row in zip(row_values, grid):
-        rows.append([_fmt(row_value)] + [f"{v:.4g}" for v in row])
+        rows.append([_fmt(row_value), *(f"{v:.4g}" for v in row)])
     return format_table(headers, rows, title=title)
 
 

@@ -90,7 +90,8 @@ def bench_formulas(scenario_name: str, span: int) -> List:
     return [
         power_distribution_formula(span=span),
         throughput_distribution_formula(span=span),
-    ] + gates
+        *gates,
+    ]
 
 
 def bench_config(scenario_name: str, profile: str) -> RunConfig:

@@ -32,6 +32,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.config import DvsConfig, RunConfig, TrafficConfig
@@ -296,6 +297,44 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_parser = sub.add_parser("loc-gen", help="generate a standalone LOC analyzer")
     gen_parser.add_argument("formula", help="LOC formula text")
     gen_parser.add_argument("--out", default=None, help="output path (default stdout)")
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static invariant checks: determinism hazards, LOC formula "
+        "analysis, wire/schema consistency",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any unsuppressed finding (the CI gate)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        dest="fmt",
+        help="output format (github emits ::error annotations)",
+    )
+    lint_parser.add_argument(
+        "--root",
+        default=None,
+        metavar="PATH",
+        help="repository root to lint (default: the root containing "
+        "the installed repro package, else the current directory)",
+    )
+    lint_parser.add_argument(
+        "--no-catalog",
+        action="store_true",
+        help="skip the builtin/study-gate formula analysis (file-level "
+        "passes only)",
+    )
+    lint_parser.add_argument(
+        "--loc-coverage",
+        default=None,
+        metavar="PATH",
+        help="also write the LOC compiled-vs-fallback coverage report "
+        "as JSON",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -1072,6 +1111,41 @@ def _cmd_loc_gen(args) -> int:
     return 0
 
 
+def _default_lint_root() -> str:
+    """The repo root: the directory whose ``src/repro`` we run from."""
+    package_root = Path(__file__).resolve().parent  # .../src/repro
+    candidate = package_root.parent.parent
+    if (candidate / "src" / "repro").is_dir():
+        return str(candidate)
+    return os.getcwd()
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import render, run_lint
+
+    root = args.root or _default_lint_root()
+    if not (Path(root) / "src" / "repro").is_dir():
+        print(f"repro lint: no src/repro under {root}", file=sys.stderr)
+        return 2
+    result, coverage = run_lint(root, catalog=not args.no_catalog)
+    print(render(result, args.fmt))
+    if args.loc_coverage:
+        if coverage is None:
+            print(
+                "repro lint: --loc-coverage needs the catalog passes "
+                "(drop --no-catalog)",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.loc_coverage, "w", encoding="utf-8") as handle:
+            json.dump(coverage.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote LOC coverage report {args.loc_coverage}", file=sys.stderr)
+    if args.strict and result.active:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -1099,6 +1173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "loc-gen":
         return _cmd_loc_gen(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

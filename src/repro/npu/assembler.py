@@ -145,15 +145,15 @@ class Assembler:
             if len(operands) != 3:
                 raise AssemblerError(f"{mnemonic} needs rd, ra, rb|imm", line)
             if operands[2] in REGISTER_INDEX:
-                mnemonic, operands = "alu", [mnemonic] + operands
+                mnemonic, operands = "alu", [mnemonic, *operands]
             else:
-                mnemonic, operands = "alui", [mnemonic] + operands
+                mnemonic, operands = "alui", [mnemonic, *operands]
         elif mnemonic in _BRANCH_ALIASES:
-            operands = [_BRANCH_ALIASES[mnemonic]] + operands
+            operands = [_BRANCH_ALIASES[mnemonic], *operands]
             mnemonic = "bcond"
         elif mnemonic in _MEM_ALIASES:
             base, target = _MEM_ALIASES[mnemonic]
-            operands = [target] + operands
+            operands = [target, *operands]
             mnemonic = base
 
         shape = OPCODES.get(mnemonic)

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import os
 from sys import intern
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.trace.annotations import AnnotationProvider
@@ -88,7 +88,9 @@ class TraceBus:
         stamps each published event exactly once.
     """
 
-    def __init__(self, annotations: AnnotationProvider, counting: bool = None):
+    def __init__(
+        self, annotations: AnnotationProvider, counting: Optional[bool] = None
+    ):
         self._annotations = annotations
         self._handlers: Dict[str, List[Tuple[TupleHandler, int]]] = {}
         self._sinks: List = []

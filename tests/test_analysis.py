@@ -145,3 +145,543 @@ class TestPolicyComparison:
         comparison = PolicyComparison(["ipfwdr"], ["low"])
         with pytest.raises(AnalysisError):
             comparison.add("ipfwdr", "low", PolicyOutcome("magic", 1.0, 1.0, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Static invariant checker (repro lint)
+# ---------------------------------------------------------------------------
+
+import json as _json
+from pathlib import Path
+
+from repro.analysis.lint import (
+    ModuleCache,
+    build_channel_registry,
+    check_determinism,
+    check_wire,
+    classify_formula,
+    render,
+    run_lint,
+)
+from repro.analysis.lint.channels import ChannelRegistry
+from repro.analysis.lint.formulas import analyze_bounds, check_events
+from repro.cli import main as cli_main
+from repro.loc.builtin import (
+    forwarding_latency_formula,
+    power_distribution_formula,
+    throughput_distribution_formula,
+)
+from repro.loc.monitor import build_monitor
+from repro.scenarios import get_scenario, list_scenarios
+from repro.studies.spec import StudySpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(root, files):
+    """Create a minimal src/repro fixture tree: {relpath: source}."""
+    for rel, source in files.items():
+        path = root / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def det_codes(root, files):
+    write_tree(root, files)
+    cache = ModuleCache(root)
+    return [(f.code, f.suppressed) for f in check_determinism(cache)]
+
+
+class TestDeterminismRules:
+    def test_det101_unseeded_random_bad_and_clean(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sim/thing.py": "import random\nx = random.randint(0, 3)\n",
+        })
+        assert ("DET101", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "sim/thing.py": "import random\nrng = random.Random(42)\nx = rng.randint(0, 3)\n",
+        })
+        assert all(code != "DET101" for code, _ in clean)
+
+    def test_det101_numpy_and_from_import(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sim/a.py": "import numpy as np\nv = np.random.uniform()\n",
+            "sim/b.py": "from random import shuffle\n",
+        })
+        assert sum(1 for code, _ in bad if code == "DET101") == 2
+
+    def test_det101_rng_module_exempt(self, tmp_path):
+        clean = det_codes(tmp_path, {
+            "sim/rng.py": "import random\nseeded = random.Random\n",
+        })
+        assert clean == []
+
+    def test_det102_wall_clock_bad_clean_and_allowlist(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sim/clocked.py": "import time\nstamp = time.time()\n",
+        })
+        assert ("DET102", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "sim/clocked.py": "import time\ndelay = time.sleep\n",
+        })
+        assert all(code != "DET102" for code, _ in clean)
+        allow = det_codes(tmp_path / "a", {
+            "backends/local.py": "import time\nstamp = time.perf_counter()\n",
+        })
+        assert all(code != "DET102" for code, _ in allow)
+
+    def test_det103_set_iteration_bad_and_sorted_clean(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "npu/pool.py": (
+                "def drain(items):\n"
+                "    live = set(items)\n"
+                "    out = []\n"
+                "    for item in live:\n"
+                "        out.append(item)\n"
+                "    return out\n"
+            ),
+        })
+        assert ("DET103", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "npu/pool.py": (
+                "def drain(items):\n"
+                "    live = set(items)\n"
+                "    out = []\n"
+                "    for item in sorted(live):\n"
+                "        out.append(item)\n"
+                "    return out\n"
+            ),
+        })
+        assert all(code != "DET103" for code, _ in clean)
+
+    def test_det103_dict_view_feeding_json(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "obs/dump.py": (
+                "import json\n"
+                "def dump(table, fh):\n"
+                "    for key, value in table.items():\n"
+                "        fh.write(json.dumps([key, value]))\n"
+            ),
+        })
+        assert ("DET103", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "obs/dump.py": (
+                "import json\n"
+                "def dump(table, fh):\n"
+                "    for key, value in sorted(table.items()):\n"
+                "        fh.write(json.dumps([key, value]))\n"
+            ),
+        })
+        assert all(code != "DET103" for code, _ in clean)
+
+    def test_det104_float_accumulation_bad_and_clean(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sweep/acc.py": (
+                "def total(values):\n"
+                "    pending = set(values)\n"
+                "    acc = 0.0\n"
+                "    for v in pending:\n"
+                "        acc += v\n"
+                "    return acc\n"
+            ),
+        })
+        assert ("DET104", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "sweep/acc.py": (
+                "def total(values):\n"
+                "    acc = 0.0\n"
+                "    for v in sorted(set(values)):\n"
+                "        acc += v\n"
+                "    return acc\n"
+            ),
+        })
+        assert all(code != "DET104" for code, _ in clean)
+
+    def test_det104_sum_over_set(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sweep/acc.py": "def total(values):\n    return sum(set(values))\n",
+        })
+        assert ("DET104", False) in bad
+
+    def test_det105_id_ordering_bad_and_clean(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "trace/order.py": (
+                "def key_of(handlers):\n"
+                "    return sorted(handlers, key=id)\n"
+            ),
+        })
+        # ``key=id`` is a bare Name, not a call; use an id() call form.
+        bad = det_codes(tmp_path / "b", {
+            "trace/order.py": (
+                "def key_of(handler):\n"
+                "    return id(handler)\n"
+            ),
+        })
+        assert ("DET105", False) in bad
+        clean = det_codes(tmp_path / "c", {
+            "trace/order.py": (
+                "def key_of(handler):\n"
+                "    return handler.name\n"
+            ),
+        })
+        assert all(code != "DET105" for code, _ in clean)
+
+    def test_det100_syntax_error(self, tmp_path):
+        bad = det_codes(tmp_path, {"sim/broken.py": "def nope(:\n"})
+        assert ("DET100", False) in bad
+
+    def test_concurrent_futures_wait_unpack_is_set_typed(self, tmp_path):
+        bad = det_codes(tmp_path, {
+            "sweep/drain.py": (
+                "from concurrent.futures import wait\n"
+                "def drain(futures):\n"
+                "    out = []\n"
+                "    while futures:\n"
+                "        done, futures = wait(futures)\n"
+                "        for f in done:\n"
+                "            out.append(f.result())\n"
+                "    return out\n"
+            ),
+        })
+        assert ("DET103", False) in bad
+
+
+class TestSuppressions:
+    def test_noqa_with_code_suppresses(self, tmp_path):
+        found = det_codes(tmp_path, {
+            "sim/clocked.py": (
+                "import time\n"
+                "stamp = time.time()  # repro: noqa(DET102)\n"
+            ),
+        })
+        assert ("DET102", True) in found
+        assert ("DET102", False) not in found
+
+    def test_bare_noqa_suppresses_all(self, tmp_path):
+        found = det_codes(tmp_path, {
+            "sim/clocked.py": (
+                "import time\n"
+                "stamp = time.time()  # repro: noqa\n"
+            ),
+        })
+        assert ("DET102", True) in found
+
+    def test_noqa_with_other_code_does_not_suppress(self, tmp_path):
+        found = det_codes(tmp_path, {
+            "sim/clocked.py": (
+                "import time\n"
+                "stamp = time.time()  # repro: noqa(DET101)\n"
+            ),
+        })
+        assert ("DET102", False) in found
+
+    def test_noqa_inside_string_literal_is_inert(self, tmp_path):
+        found = det_codes(tmp_path, {
+            "sim/clocked.py": (
+                "import time\n"
+                'docs = "# repro: noqa(DET102)"\n'
+                "stamp = time.time()\n"
+            ),
+        })
+        assert ("DET102", False) in found
+
+
+
+def loose_registry():
+    registry = ChannelRegistry()
+    registry.exact.update({"forward", "arrival", "fifo", "mem_ixbus"})
+    registry.prefixes.update({"mem_*", "m<k>_pipeline"})
+    return registry
+
+
+class TestLocRules:
+    def test_loc201_classification_bad_and_clean(self):
+        multi = classify_formula("time(deq[i]) - time(enq[i]) <= 5")
+        assert not multi.compiled
+        assert "multi-event" in multi.fallback_reason
+        pinned = classify_formula("time(forward[i]) - time(forward[0]) <= 5")
+        assert not pinned.compiled
+        assert "absolute" in pinned.fallback_reason
+        clean = classify_formula("time(forward[i+1]) - time(forward[i]) <= 5")
+        assert clean.compiled and clean.event == "forward"
+
+    def test_loc202_unsatisfiable_and_vacuous_bounds(self):
+        unsat = analyze_bounds("time(forward[i+10]) - time(forward[i]) <= -1")
+        assert any(f.code == "LOC202" and "unsatisfiable" in f.message
+                   for f in unsat)
+        vacuous = analyze_bounds("time(forward[i+10]) - time(forward[i]) >= 0")
+        assert any(f.code == "LOC202" and "vacuous" in f.message
+                   for f in vacuous)
+        const = analyze_bounds("3 <= 2")
+        assert any(f.code == "LOC202" for f in const)
+        # The parser refuses degenerate triples, but AST-built formulas
+        # bypass it — the analyzer must still catch them.
+        from repro.loc.ast_nodes import DistributionFormula
+        from repro.loc.parser import parse_formula
+        expr = parse_formula("cycle(forward[i]) in <0, 10, 1>").expr
+        degenerate = analyze_bounds(
+            DistributionFormula(expr, "in", 10.0, 5.0, 1.0)
+        )
+        assert any(f.code == "LOC202" for f in degenerate)
+        clean = analyze_bounds(
+            "time(forward[i+10]) - time(forward[i]) <= 120"
+        )
+        assert clean == []
+
+    def test_loc202_flipped_sides(self):
+        unsat = analyze_bounds("-2 >= time(forward[i+5]) - time(forward[i])")
+        assert any(f.code == "LOC202" and "unsatisfiable" in f.message
+                   for f in unsat)
+
+    def test_loc203_unknown_event_bad_and_clean(self):
+        registry = loose_registry()
+        bad = check_events("cycle(fwd[i+1]) - cycle(fwd[i]) <= 10", registry)
+        assert any(f.code == "LOC203" for f in bad)
+        for name in ("forward", "mem_sram", "m3_pipeline", "fifo"):
+            clean = check_events(
+                f"cycle({name}[i+1]) - cycle({name}[i]) <= 10", registry
+            )
+            assert clean == [], name
+
+    def test_loc204_parse_error(self):
+        registry = loose_registry()
+        bad = check_events("cycle(forward[i+1]) - - <= ", registry)
+        assert any(f.code == "LOC204" for f in bad)
+        assert classify_formula("what is this").kind == "invalid"
+
+    def test_registry_extraction_from_fixture_emitters(self, tmp_path):
+        write_tree(tmp_path, {
+            "npu/chip.py": (
+                "def wire(bus, resource, me_index):\n"
+                "    fwd = bus.emitter('forward')\n"
+                "    arr = bus.emitter('arrival', to_sinks=False)\n"
+                "    resource.bind_trace(bus, f'mem_{resource.name}')\n"
+                "    pipe = bus.emitter(prefixed_event_name('pipeline', me_index))\n"
+            ),
+        })
+        registry = build_channel_registry(ModuleCache(tmp_path))
+        assert registry.knows("forward")
+        assert registry.knows("arrival")
+        assert registry.knows("mem_sdram")
+        assert registry.knows("m7_pipeline")
+        assert not registry.knows("bogus")
+        assert not registry.knows("mem_")  # bare prefix is not a channel
+
+    def test_shipped_registry_covers_study_gate_events(self):
+        cache = ModuleCache(REPO_ROOT)
+        registry = build_channel_registry(cache)
+        for name in ("forward", "fifo", "mem_sram", "mem_sdram",
+                     "mem_ixbus", "m0_pipeline", "m5_pipeline"):
+            assert registry.knows(name), name
+
+
+class TestClassificationMatchesRouting:
+    def test_builtins_agree_with_build_monitor(self):
+        for formula in (
+            forwarding_latency_formula(),
+            power_distribution_formula(),
+            throughput_distribution_formula(),
+        ):
+            verdict = classify_formula(formula)
+            monitor = build_monitor(formula, mode="compiled")
+            assert verdict.compiled == monitor.compiled
+            assert verdict.compiled  # paper formulas all compile
+
+    def test_all_study_gates_agree_with_build_monitor(self):
+        for mem_gates in (False, True):
+            spec = StudySpec(mem_gates=mem_gates)
+            for name in list_scenarios():
+                for assertion in spec.assertions_for(get_scenario(name)):
+                    verdict = classify_formula(assertion.formula)
+                    monitor = build_monitor(assertion.formula, mode="compiled")
+                    assert verdict.compiled == monitor.compiled, assertion.name
+
+    def test_fallback_formula_routes_interpreted(self):
+        formula = "time(forward[i]) - time(forward[0]) <= 1e9"
+        verdict = classify_formula(formula)
+        monitor = build_monitor(formula, mode="compiled")
+        assert not verdict.compiled and not monitor.compiled
+
+
+GOOD_SCHEMA_MD = (
+    "**Schema version:** 7\n\n**Span schema version:** 4\n"
+)
+GOOD_METRICS = "METRICS_SCHEMA_VERSION = 7\n"
+GOOD_SPANS = "SPAN_SCHEMA_VERSION = 4\n"
+GOOD_WORKER = (
+    "from repro.backends.protocol import recv_message, send_message\n"
+    "def serve(sock):\n"
+    "    send_message(sock, {'type': 'hello', 'worker': 'w',"
+    " 'protocol': 1})\n"
+    "    welcome = recv_message(sock)\n"
+    "    lease = welcome.get('lease_s')\n"
+    "    message = {\n"
+    "        'type': 'outcome', 'job_id': 'j', 'outcome': {},\n"
+    "        'telemetry': {'jobs_run': 1, 'heartbeats_sent': 2},\n"
+    "    }\n"
+    "    message['spans'] = []\n"
+    "    send_message(sock, message)\n"
+)
+GOOD_COORDINATOR = (
+    "from repro.backends.protocol import recv_message, send_message\n"
+    "KEYS = ('jobs_run', 'heartbeats_sent')\n"
+    "def handle(conn):\n"
+    "    message = recv_message(conn)\n"
+    "    kind = message.get('type')\n"
+    "    payload = message.get('telemetry')\n"
+    "    spans = message.get('spans')\n"
+    "    send_message(conn, {'type': 'welcome', 'lease_s': 15.0})\n"
+)
+
+
+def wire_fixture(root, **overrides):
+    files = {
+        "obs/SCHEMA.md": GOOD_SCHEMA_MD,
+        "obs/metrics.py": GOOD_METRICS,
+        "obs/spans.py": GOOD_SPANS,
+        "backends/worker.py": GOOD_WORKER,
+        "backends/distributed.py": GOOD_COORDINATOR,
+    }
+    files.update(overrides)
+    # SCHEMA.md is not a .py; write it outside write_tree's tree walk.
+    write_tree(root, {k: v for k, v in files.items() if k.endswith(".py")})
+    md = root / "src" / "repro" / "obs" / "SCHEMA.md"
+    md.parent.mkdir(parents=True, exist_ok=True)
+    md.write_text(files["obs/SCHEMA.md"], encoding="utf-8")
+    return ModuleCache(root)
+
+
+class TestWireRules:
+    def test_clean_fixture_has_no_wire_findings(self, tmp_path):
+        findings = check_wire(wire_fixture(tmp_path))
+        assert findings == []
+
+    def test_wire301_version_drift(self, tmp_path):
+        findings = check_wire(wire_fixture(
+            tmp_path, **{"obs/metrics.py": "METRICS_SCHEMA_VERSION = 8\n"}
+        ))
+        assert any(f.code == "WIRE301" and "SCHEMA.md" in f.message
+                   for f in findings)
+
+    def test_wire301_int_literal_version(self, tmp_path):
+        findings = check_wire(wire_fixture(
+            tmp_path,
+            **{"obs/spans.py":
+               "SPAN_SCHEMA_VERSION = 4\nheader = {'version': 4}\n"},
+        ))
+        assert any(f.code == "WIRE301" and "literal" in f.message
+                   for f in findings)
+
+    def test_wire302_read_of_unsent_key(self, tmp_path):
+        coordinator = GOOD_COORDINATOR + (
+            "def extra(conn):\n"
+            "    message = recv_message(conn)\n"
+            "    ghost = message.get('ghost_key')\n"
+        )
+        findings = check_wire(wire_fixture(
+            tmp_path, **{"backends/distributed.py": coordinator}
+        ))
+        assert any(f.code == "WIRE302" and "ghost_key" in f.message
+                   for f in findings)
+
+    def test_wire303_undeclared_telemetry_key(self, tmp_path):
+        worker = GOOD_WORKER.replace(
+            "'heartbeats_sent': 2", "'heartbeats_sent': 2, 'rogue': 3"
+        )
+        findings = check_wire(wire_fixture(
+            tmp_path, **{"backends/worker.py": worker}
+        ))
+        assert any(f.code == "WIRE303" and "rogue" in f.message
+                   for f in findings)
+
+    def test_wire303_key_never_absorbed(self, tmp_path):
+        coordinator = GOOD_COORDINATOR.replace(
+            "KEYS = ('jobs_run', 'heartbeats_sent')", "KEYS = ('jobs_run',)"
+        )
+        findings = check_wire(wire_fixture(
+            tmp_path, **{"backends/distributed.py": coordinator}
+        ))
+        assert any(f.code == "WIRE303" and "heartbeats_sent" in f.message
+                   for f in findings)
+
+
+class TestLintCliAndOutput:
+    def test_json_output_schema(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "sim/clocked.py": "import time\nstamp = time.time()\n",
+        })
+        code = cli_main([
+            "lint", "--format", "json", "--root", str(tmp_path),
+            "--no-catalog",
+        ])
+        assert code == 0  # non-strict always exits 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert set(payload) == {"findings", "summary"}
+        assert payload["summary"]["active"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "code", "message", "file", "line", "col", "hint", "suppressed",
+        }
+        assert finding["code"] == "DET102"
+        assert finding["file"].endswith("sim/clocked.py")
+        assert finding["line"] == 2
+
+    def test_strict_exits_1_on_finding(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "sim/clocked.py": "import time\nstamp = time.time()\n",
+        })
+        code = cli_main([
+            "lint", "--strict", "--root", str(tmp_path), "--no-catalog",
+        ])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_github_format_annotations(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "sim/clocked.py": "import time\nstamp = time.time()\n",
+        })
+        cli_main([
+            "lint", "--format", "github", "--root", str(tmp_path),
+            "--no-catalog",
+        ])
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "line=2" in out
+
+    def test_single_parse_per_file(self, tmp_path):
+        write_tree(tmp_path, {
+            "sim/a.py": "x = 1\n",
+            "obs/b.py": "y = 2\n",
+        })
+        cache = ModuleCache(tmp_path)
+        check_determinism(cache)
+        check_wire(cache)
+        first = cache.parsed_count()
+        check_determinism(cache)
+        check_wire(cache)
+        assert cache.parsed_count() == first
+
+    def test_loc_coverage_report_written(self, tmp_path, capsys):
+        out_path = tmp_path / "loc-coverage.json"
+        code = cli_main([
+            "lint", "--root", str(REPO_ROOT),
+            "--loc-coverage", str(out_path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        payload = _json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["total_formulas"] == (
+            payload["compiled"] + payload["fallback"]
+        )
+        assert payload["compiled_fraction"] == 1.0  # ROADMAP visibility
+        sources = {entry["source"] for entry in payload["formulas"]}
+        assert "builtin:forwarding_latency" in sources
+        assert any(s.startswith("study:") for s in sources)
+
+
+class TestShippedTreeIsClean:
+    def test_repro_lint_strict_clean_on_shipped_tree(self, capsys):
+        code = cli_main(["lint", "--strict", "--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 finding(s)" in out

@@ -83,8 +83,9 @@ def test_generated_checker_matches():
 
 def test_generated_handles_multi_event_and_absolute_refs():
     formula = "time(deq[i]) - time(enq[0]) <= 100"
-    events = [make_event("enq", time=1.0)] + [
-        make_event("deq", time=1.0 + k) for k in range(5)
+    events = [
+        make_event("enq", time=1.0),
+        *(make_event("deq", time=1.0 + k) for k in range(5)),
     ]
     module = exec_generated(generate_analyzer_source(formula))
     generated = module["analyze_lines"](trace_lines(events))

@@ -111,7 +111,7 @@ class TestTraceBuffer:
 
 class TestWritersAndReaders:
     def test_text_round_trip(self):
-        events = forward_series(5) + [make_event("m2_pipeline", cycle=99)]
+        events = [*forward_series(5), make_event("m2_pipeline", cycle=99)]
         buffer = io.StringIO()
         writer = TextTraceWriter(buffer)
         for event in events:

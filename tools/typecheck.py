@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Baseline-gated mypy lane for the typed surface.
+
+Runs mypy over the ``[tool.mypy]`` surface (``src/repro/analysis`` +
+``src/repro/loc``) and fails only on errors in files *not* grandfathered
+by ``tools/mypy-baseline.txt``.  The baseline is a burn-down list: each
+non-comment line is a path prefix (relative to the repo root) whose
+errors are tolerated until that module is typed.  The new
+static-analysis subsystem (``src/repro/analysis/lint``) is deliberately
+NOT in the baseline — it must stay mypy-clean from day one.
+
+Exit codes: 0 clean (or mypy unavailable — the CI lane installs it,
+local runs without it just warn), 1 new errors, 2 runner failure.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = Path(__file__).resolve().parent / "mypy-baseline.txt"
+
+
+def load_baseline() -> list:
+    prefixes = []
+    for line in BASELINE.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            prefixes.append(line)
+    return prefixes
+
+
+def main() -> int:
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:
+        print(f"typecheck: failed to launch mypy: {exc}", file=sys.stderr)
+        return 2
+    if "No module named mypy" in proc.stderr:
+        print(
+            "typecheck: mypy is not installed; skipping (CI installs it)",
+            file=sys.stderr,
+        )
+        return 0
+
+    prefixes = load_baseline()
+    new_errors = []
+    grandfathered = 0
+    for line in proc.stdout.splitlines():
+        # mypy error lines look like ``path:line: error: message  [code]``.
+        if ": error:" not in line:
+            continue
+        path = line.split(":", 1)[0].replace("\\", "/")
+        if any(path.startswith(prefix) for prefix in prefixes):
+            grandfathered += 1
+        else:
+            new_errors.append(line)
+
+    for line in new_errors:
+        print(line)
+    print(
+        f"typecheck: {len(new_errors)} new error(s), "
+        f"{grandfathered} grandfathered (tools/mypy-baseline.txt)",
+        file=sys.stderr,
+    )
+    return 1 if new_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
