@@ -15,6 +15,10 @@ DET103  iteration over a set (or over dict views feeding serialization)
         without an explicit ``sorted()``
 DET104  float accumulation over an unordered collection
 DET105  ``id()``-dependent ordering or keying
+DET106  environment-variable read inside the model core (``sim/``,
+        ``npu/``) for a variable not on the named outcome-neutral
+        allowlist — an undeclared env toggle there can silently fork
+        simulation behaviour between hosts
 """
 
 from __future__ import annotations
@@ -74,6 +78,22 @@ WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = (
     "src/repro/backends/worker.py",
     "src/repro/backends/distributed.py",
 )
+
+#: Env toggles the model core (``sim/``, ``npu/``) may read: each entry
+#: names a variable *proven* outcome-neutral — it may change how fast a
+#: run executes, never what it computes — and the wall that proves it.
+#: Anything else read from the environment inside the model core is a
+#: DET106 finding: declare the variable here (with its proof) instead of
+#: suppressing per line.  Observability/orchestration layers (obs,
+#: trace, loc, sweep, backends) read mode env vars by design and are out
+#: of DET106 scope; their outcome-neutrality is enforced by the
+#: study-diff and monitor-equivalence walls.
+ENV_TOGGLE_ALLOWLIST: Dict[str, str] = {
+    # Compute fusion is byte-identical by construction (the seq relay
+    # draws every kernel seq at its unfused instant); enforced by
+    # tests/test_fastpath.py and the full-catalog study md5 wall.
+    "REPRO_FUSE": "tie-stable compute fusion (speed-only, bit-identical)",
+}
 
 #: Serialization/hashing sinks: a dict-view iteration whose loop body
 #: calls one of these is order-sensitive output.
@@ -420,6 +440,39 @@ def _check_module(module: Module) -> List[Finding]:
                         )
                     )
 
+    # --- DET106: undeclared env toggles in the model core ---------------
+    normalized = rel.replace("\\", "/")
+    in_model_core = normalized.startswith(
+        ("src/repro/sim/", "src/repro/npu/")
+    )
+    if in_model_core:
+        constants = _module_str_constants(tree)
+        for node in ast.walk(tree):
+            var = _env_read_variable(node, aliases, constants)
+            if var is _NO_ENV_READ:
+                continue
+            if var is not None and var in ENV_TOGGLE_ALLOWLIST:
+                continue
+            shown = f"{var!r}" if var is not None else "a dynamic name"
+            findings.append(
+                Finding(
+                    code="DET106",
+                    message=(
+                        f"environment read of {shown} in the model core — "
+                        "undeclared env toggles can fork simulation "
+                        "behaviour between hosts"
+                    ),
+                    path=rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    hint=(
+                        "prove the toggle outcome-neutral and add it to "
+                        "ENV_TOGGLE_ALLOWLIST (lint/determinism.py), or "
+                        "plumb it through RunConfig"
+                    ),
+                )
+            )
+
     # --- DET105: id()-dependent ordering --------------------------------
     shadowed = _locally_bound_names(tree)
     for node in ast.walk(tree):
@@ -447,6 +500,54 @@ def _check_module(module: Module) -> List[Finding]:
             )
 
     return apply_suppressions(module, findings)
+
+
+#: Sentinel distinguishing "not an env read at all" from "env read whose
+#: variable name could not be resolved" (the latter is still a finding).
+_NO_ENV_READ = object()
+
+
+def _module_str_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` bindings (env-var name style)."""
+    constants: Dict[str, str] = {}
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = stmt.value.value
+    return constants
+
+
+def _env_read_variable(node, aliases, constants):
+    """The variable name an AST node reads from the environment.
+
+    Recognizes ``os.environ.get(X, ...)``, ``os.getenv(X, ...)`` and
+    ``os.environ[X]``.  Returns the resolved variable name (a literal or
+    a module-level string constant), ``None`` for an env read whose name
+    cannot be resolved statically, or :data:`_NO_ENV_READ` when the node
+    is not an environment read.
+    """
+    key = None
+    if isinstance(node, ast.Call):
+        name = canonical_call_name(node, aliases)
+        if name not in {"os.environ.get", "os.getenv"} or not node.args:
+            return _NO_ENV_READ
+        key = node.args[0]
+    elif isinstance(node, ast.Subscript):
+        if dotted_name(node.value) != "os.environ":
+            return _NO_ENV_READ
+        key = node.slice
+    else:
+        return _NO_ENV_READ
+    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+        return key.value
+    if isinstance(key, ast.Name):
+        return constants.get(key.id)
+    return None
 
 
 def _accumulates_float(body: Sequence[ast.stmt]) -> bool:

@@ -107,6 +107,16 @@ class AppModel:
         self.resources = resources
         self.profile = profile or AppProfile()
         self.profile.validate()
+        # Memoized materialized step lists, keyed by whatever the app's
+        # stream actually varies on (chunk count, trie depth, ...).
+        # Step objects are immutable and iterating a list never mutates
+        # it, so one list serves every packet with the same shape — the
+        # per-packet generator walk and step allocations disappear.
+        # Only apps with pure streams (``materialize_*``) install keys;
+        # per-packet side effects (counters, ``packet.output_port``) are
+        # replayed by the app's ``*_steps_list`` override on a hit.
+        self._rx_steps_memo: Dict[object, list] = {}
+        self._tx_steps_memo: Dict[object, list] = {}
 
     # -- the two step streams ------------------------------------------
     def rx_steps(self, packet: Packet) -> Iterator[Step]:
@@ -120,6 +130,31 @@ class AppModel:
     def tx_steps(self, packet: Packet) -> Iterator[Step]:
         """Transmit-side processing; the chip transmits when it ends."""
         raise NotImplementedError
+
+    # -- materialized (list) streams --------------------------------------
+    def rx_steps_list(self, packet: Packet) -> list:
+        """Receive stream as a list, for materializing microengines.
+
+        The base implementation lists out the generator per packet; apps
+        with pure streams override it to return a memoized shared list
+        (replaying the stream's per-packet side effects on a hit).
+        """
+        return list(self.rx_steps(packet))
+
+    def tx_steps_list(self, packet: Packet) -> list:
+        """Transmit stream as a list, for materializing microengines."""
+        return list(self.tx_steps(packet))
+
+    def _standard_tx_steps_list(
+        self, packet: Packet, fetch_sdram: bool = True
+    ) -> list:
+        """Memoized :meth:`_standard_tx_steps`; it is pure by design."""
+        key = (chunks_of(packet.size_bytes), fetch_sdram)
+        steps = self._tx_steps_memo.get(key)
+        if steps is None:
+            steps = list(self._standard_tx_steps(packet, fetch_sdram))
+            self._tx_steps_memo[key] = steps
+        return steps
 
     # -- shared transmit skeleton ----------------------------------------
     def _standard_tx_steps(self, packet: Packet, fetch_sdram: bool = True):

@@ -95,8 +95,26 @@ class IpfwdrApp(AppModel):
         yield Compute(profile.enqueue_instr)
         yield PutTx()
 
+    def rx_steps_list(self, packet: Packet) -> list:
+        port, depth = self.trie.lookup(packet.dst_ip)
+        key = (chunks_of(packet.size_bytes), strides_for_depth(depth))
+        steps = self._rx_steps_memo.get(key)
+        if steps is None:
+            # The generator performs the lookup and counter updates
+            # itself (one extra read-only trie walk, first time only).
+            steps = list(self.rx_steps(packet))
+            self._rx_steps_memo[key] = steps
+            return steps
+        self.lookups += 1
+        self.total_lookup_depth += depth
+        packet.output_port = port
+        return steps
+
     def tx_steps(self, packet: Packet) -> Iterator[Step]:
         return self._standard_tx_steps(packet, fetch_sdram=True)
+
+    def tx_steps_list(self, packet: Packet) -> list:
+        return self._standard_tx_steps_list(packet, fetch_sdram=True)
 
     @property
     def mean_lookup_depth(self) -> float:

@@ -99,8 +99,27 @@ class Md4App(AppModel):
         yield Compute(profile.enqueue_instr)
         yield PutTx()
 
+    def rx_steps_list(self, packet: Packet) -> list:
+        if self.compute_real_digests:
+            # Impure stream (real digests): never memoized — matches
+            # ``materialize_rx`` being False in this configuration.
+            return list(self.rx_steps(packet))
+        blocks = md4_blocks_for(packet.payload_bytes_len)
+        key = (chunks_of(packet.size_bytes), blocks)
+        steps = self._rx_steps_memo.get(key)
+        if steps is None:
+            steps = list(self.rx_steps(packet))
+            self._rx_steps_memo[key] = steps
+            return steps
+        self.blocks_hashed += blocks
+        packet.output_port = packet.input_port
+        return steps
+
     def tx_steps(self, packet: Packet) -> Iterator[Step]:
         return self._standard_tx_steps(packet, fetch_sdram=True)
+
+    def tx_steps_list(self, packet: Packet) -> list:
+        return self._standard_tx_steps_list(packet, fetch_sdram=True)
 
 
 register_app("md4", Md4App)

@@ -92,8 +92,23 @@ class UrlApp(AppModel):
         yield Compute(profile.enqueue_instr)
         yield PutTx()
 
+    def rx_steps_list(self, packet: Packet) -> list:
+        payload_chunks = chunks_of(packet.payload_bytes_len)
+        key = (chunks_of(packet.size_bytes), payload_chunks)
+        steps = self._rx_steps_memo.get(key)
+        if steps is None:
+            steps = list(self.rx_steps(packet))
+            self._rx_steps_memo[key] = steps
+            return steps
+        self.scanned_chunks += payload_chunks
+        packet.output_port = packet.flow_id % self.resources.num_ports
+        return steps
+
     def tx_steps(self, packet: Packet) -> Iterator[Step]:
         return self._standard_tx_steps(packet, fetch_sdram=True)
+
+    def tx_steps_list(self, packet: Packet) -> list:
+        return self._standard_tx_steps_list(packet, fetch_sdram=True)
 
 
 register_app("url", UrlApp)

@@ -36,7 +36,8 @@ bench`` on the CLI (which also applies the soft regression gate via
 from __future__ import annotations
 
 import cProfile
-import io
+import gc
+import heapq
 import json
 import math
 import os
@@ -77,6 +78,67 @@ DEFAULT_SCENARIOS: Tuple[str, ...] = (
 #: Observation modes benchmarked per scenario, in artifact order.
 MODES: Tuple[str, ...] = ("no_checkers", "interpreted", "compiled")
 
+#: Iterations of the host-calibration spin loop (see
+#: :func:`host_calibration`).  Fixed, so every artifact's score measures
+#: the same synthetic work.
+CALIBRATION_OPS = 120_000
+
+
+def _calibration_spin() -> int:
+    """The fixed synthetic workload: integer arithmetic + heap churn.
+
+    Shaped like the kernel hot loop (tuple heap pushes/pops dominate the
+    simulator), deterministic, and returns a checksum so the interpreter
+    cannot elide any of it.
+    """
+    heap: List[Tuple[int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    acc = 0
+    for i in range(CALIBRATION_OPS):
+        acc = (acc * 33 + i) % 1_000_003
+        push(heap, (acc, i))
+        if len(heap) > 64:
+            acc += pop(heap)[1]
+    return acc
+
+
+def host_calibration(repeats: int = 5) -> Dict:
+    """Score this host against the fixed spin loop; stamped per artifact.
+
+    ``ops_per_s`` (best-of-N, minimum-wall estimator like every other
+    bench number) is the host-speed scalar: the regression gate divides
+    the two artifacts' scores to compare *calibrated* ratios, so a
+    baseline recorded on a fast runner does not read as a regression on
+    a slow one (and vice versa).
+    """
+    best: Optional[float] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        _calibration_spin()
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+    assert best is not None
+    return {
+        "spin_ops": CALIBRATION_OPS,
+        "spin_best_s": round(best, 6),
+        "ops_per_s": round(CALIBRATION_OPS / best, 1) if best > 0 else None,
+    }
+
+
+def calibration_ratio(baseline: Dict, current: Dict) -> float:
+    """Current host speed over baseline host speed (1.0 when unstamped).
+
+    Artifacts written before the calibration stamp existed compare at
+    ratio 1.0 — the uncalibrated behaviour.
+    """
+    old = baseline.get("host", {}).get("ops_per_s")
+    new = current.get("host", {}).get("ops_per_s")
+    if not old or not new:
+        return 1.0
+    return new / old
+
 
 def bench_formulas(scenario_name: str, span: int) -> List:
     """The monitored formulas for one scenario: a real job's load.
@@ -105,12 +167,33 @@ def bench_config(scenario_name: str, profile: str) -> RunConfig:
     )
 
 
-def _timed_run(config: RunConfig, monitors: Sequence = (), sinks: Sequence = ()):
-    """One simulation; returns (wall_s, RunResult)."""
-    run = SimulationRun(config, sinks=sinks, monitors=monitors)
+def _timed_run(
+    config: RunConfig,
+    monitors: Sequence = (),
+    sinks: Sequence = (),
+    fuse: Optional[bool] = None,
+):
+    """One simulation; returns (wall_s, RunResult).
+
+    Collects garbage before timing and pauses automatic collection for
+    the duration of the run — the discipline ``timeit`` applies — so a
+    generational sweep triggered by a *previous* run's garbage cannot
+    land inside this run's timed region.  Those pauses were the largest
+    single source of repeat-to-repeat spread in the fused-vs-unfused
+    A/B pairs.
+    """
+    run = SimulationRun(config, sinks=sinks, monitors=monitors, fuse=fuse)
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
     start = time.perf_counter()
-    result = run.run()
-    return time.perf_counter() - start, result
+    try:
+        result = run.run()
+    finally:
+        wall = time.perf_counter() - start
+        if was_enabled:
+            gc.enable()
+    return wall, result
 
 
 def _event_count(result) -> int:
@@ -298,6 +381,40 @@ def bench_scenario(
             "run the differential wall (tests/test_monitors.py)"
         )
 
+    # Fused vs unfused kernel throughput: the same unobserved run A/B'd
+    # with compute fusion forced on and off.  Fusion is byte-identical
+    # by design, so any difference here is pure event-loop speed — and
+    # fused losing anywhere is a regression the CI lane hard-fails on
+    # (see :func:`fusion_regressions`).  Samples interleave so slow
+    # drift (thermal, noisy neighbours) hits both sides equally.
+    fused_samples: List[float] = []
+    unfused_samples: List[float] = []
+    _timed_run(config, fuse=True)  # untimed warmup eats first-run effects
+    pair = ((True, fused_samples), (False, unfused_samples))
+    for rep in range(max(1, repeats)):
+        # Alternate which side samples first so position bias (allocator
+        # and cache state left by the previous run) averages out.
+        for fuse, samples in (pair if rep % 2 == 0 else pair[::-1]):
+            wall, result = _timed_run(config, fuse=fuse)
+            if _event_count(result) != events:
+                raise ExperimentError(
+                    f"{scenario_name}: event count changed under "
+                    f"fuse={fuse} ({_event_count(result)} != {events}) — "
+                    "fusion must not perturb the simulation"
+                )
+            samples.append(wall)
+    fused_best = min(fused_samples)
+    unfused_best = min(unfused_samples)
+    # Per-repeat paired speedups: each pair ran back to back, so a load
+    # step or frequency drift hits both sides of a pair roughly equally
+    # and divides out — the gate trusts the paired median over the
+    # global minima, which a spike during one side's samples can skew.
+    paired_speedups = [
+        round(unfused / fused, 4)
+        for fused, unfused in zip(fused_samples, unfused_samples)
+        if fused > 0
+    ]
+
     # Checking-path throughput: replay the captured trace at volume,
     # best wall-clock over ``repeats`` measurements (replay timings are
     # short; the minimum is the least noisy estimator).
@@ -330,6 +447,20 @@ def bench_scenario(
             "compiled_with_spans_s": round(walls["compiled"], 4),
             "compiled_no_spans_s": round(unspanned, 4) if unspanned else None,
             "overhead_pct": span_overhead_pct,
+        },
+        "fusion": {
+            "fused_events_per_s": round(events / fused_best, 1)
+            if fused_best > 0
+            else None,
+            "unfused_events_per_s": round(events / unfused_best, 1)
+            if unfused_best > 0
+            else None,
+            "speedup": round(unfused_best / fused_best, 3)
+            if fused_best > 0
+            else None,
+            "paired_speedups": paired_speedups,
+            "fused_wall_stats": _wall_stats(fused_samples),
+            "unfused_wall_stats": _wall_stats(unfused_samples),
         },
         "checking": {
             "replayed_events": replayed,
@@ -397,11 +528,29 @@ def run_bench(
     unspanned_s = sum(
         e["spans"]["compiled_no_spans_s"] or 0.0 for e in entries.values()
     )
+    fusion_ratios = [
+        e["fusion"]["speedup"]
+        for e in entries.values()
+        if e.get("fusion", {}).get("speedup")
+    ]
+    fusion_geomean = (
+        round(
+            math.exp(
+                sum(math.log(r) for r in fusion_ratios) / len(fusion_ratios)
+            ),
+            3,
+        )
+        if fusion_ratios
+        else None
+    )
     return {
         "bench": "run",
         "profile": profile,
         "span": span_for(profile),
         "repeats": repeats,
+        # Host-speed stamp: lets the regression gate compare calibrated
+        # ratios across runners (see :func:`calibration_ratio`).
+        "host": host_calibration(),
         "scenarios": entries,
         "totals": {
             "replayed_events": replayed,
@@ -431,8 +580,79 @@ def run_bench(
             )
             if unspanned_s > 0
             else None,
+            # Whole-run kernel speed with compute fusion on vs off
+            # (unobserved runs; must never dip below ~1.0 — see
+            # :func:`fusion_regressions`).
+            "fusion_geomean_speedup": fusion_geomean,
         },
     }
+
+
+#: Minimum relative slack for the fused-vs-unfused gate.  Best-of-N
+#: minima still jitter by a few percent run to run (and a single-repeat
+#: lane measures no spread at all), so the gate never tightens below
+#: this floor — wide enough to absorb scheduler noise, narrow enough to
+#: catch a real per-part regression like the pre-relay fusion scheme.
+FUSION_SLACK_FLOOR = 0.05
+
+
+def fusion_regressions(data: Dict) -> List[str]:
+    """Hard gate: scenarios where the fused kernel ran slower than unfused.
+
+    Fusion is byte-identical and exists purely for speed, so losing to
+    the unfused path anywhere is a defect, not a trade-off.  The gate is
+    noise-aware the same way :func:`compare_bench` is.  Two estimators
+    of the true speedup are computed — the *ratio of best-of-N minima*
+    (skewed only by a load spike covering every sample on one side) and
+    the *median of the per-repeat paired speedups* (each pair ran back
+    to back, so a load step divides out of the ratio; skewed only by an
+    episode spanning most pairs asymmetrically).  Their noise failure
+    modes are disjoint while a real slowdown depresses both, so the
+    gate judges the more favorable of the two.  The comparison widens
+    by the larger side's relative repeat spread (never below
+    :data:`FUSION_SLACK_FLOOR`) so one noisy sample cannot fail a lane.
+    Single-repeat runs (smoke lanes) are never gated — one sample per
+    side measures jitter, not fusion — the gate needs at least two.
+    Returns message strings; empty means fused held up everywhere.
+    """
+
+    def rel_noise(stats: Dict) -> float:
+        best = stats.get("best_s")
+        stddev = stats.get("stddev_s")
+        if not best or stddev is None:
+            return 0.0
+        return stddev / best
+
+    messages: List[str] = []
+    for name, entry in sorted(data.get("scenarios", {}).items()):
+        fusion = entry.get("fusion", {})
+        fused = fusion.get("fused_events_per_s")
+        unfused = fusion.get("unfused_events_per_s")
+        if not fused or not unfused:
+            continue
+        samples = min(
+            fusion.get("fused_wall_stats", {}).get("samples", 0),
+            fusion.get("unfused_wall_stats", {}).get("samples", 0),
+        )
+        if samples < 2:
+            continue
+        slack = max(
+            FUSION_SLACK_FLOOR,
+            rel_noise(fusion.get("fused_wall_stats", {})),
+            rel_noise(fusion.get("unfused_wall_stats", {})),
+        )
+        estimates = [fused / unfused]
+        paired = fusion.get("paired_speedups")
+        if paired:
+            estimates.append(sorted(paired)[len(paired) // 2])
+        observed = max(estimates)
+        if observed < 1.0 - slack:
+            drop = 100.0 * (1.0 - observed)
+            messages.append(
+                f"{name}: fused kernel slower than unfused by {drop:.1f}% "
+                f"({fused:,.0f} vs {unfused:,.0f} events/s best-of-N)"
+            )
+    return messages
 
 
 def render_bench_text(data: Dict) -> str:
@@ -475,6 +695,18 @@ def render_bench_text(data: Dict) -> str:
             f"run-timeline spans (default on): {span_overhead:+.1f}% "
             f"whole-run wall vs REPRO_OBS_SPANS=off"
         )
+    fusion_geomean = totals.get("fusion_geomean_speedup")
+    if fusion_geomean is not None:
+        lines.append(
+            f"compute fusion (default on): {fusion_geomean:.2f}x geomean "
+            f"whole-run kernel speed vs unfused"
+        )
+    host = data.get("host", {})
+    if host.get("ops_per_s"):
+        lines.append(
+            f"host calibration: {host['ops_per_s']:,.0f} spin ops/s "
+            f"(stamped for cross-host gate calibration)"
+        )
     return "\n".join(lines)
 
 
@@ -490,20 +722,30 @@ def compare_bench(
     (the repeat minimum), and the whole-run gate is noise-aware: when
     both artifacts carry ``run_wall_stats``, the tolerance widens by
     the larger side's relative stddev, so a noisy machine produces a
-    wider gate instead of a flaky one.  Returns message strings; empty
-    means no regression beyond the tolerance.  Whether a non-empty list
-    is a warning or a failure is the caller's policy (``repro bench``
-    defaults to warn; ``--regress-fail`` promotes it)."""
+    wider gate instead of a flaky one.
+
+    When both artifacts carry a ``host`` calibration stamp (see
+    :func:`host_calibration`), the baseline numbers are rescaled by the
+    hosts' spin-loop speed ratio before comparison, so a baseline
+    committed from a fast runner does not read as a regression on a
+    slow one.  Unstamped artifacts compare uncalibrated (ratio 1.0).
+
+    Returns message strings; empty means no regression beyond the
+    tolerance.  Whether a non-empty list is a warning or a failure is
+    the caller's policy (``repro bench`` defaults to warn;
+    ``--regress-fail`` promotes it)."""
     warnings: List[str] = []
+    cal = calibration_ratio(baseline, current)
 
     def check(label: str, old_value, new_value, extra_slack: float = 0.0) -> None:
         if not old_value or not new_value:
             return
-        if new_value < old_value * (1.0 - tolerance - extra_slack):
-            drop = 100.0 * (1.0 - new_value / old_value)
+        expected = old_value * cal
+        if new_value < expected * (1.0 - tolerance - extra_slack):
+            drop = 100.0 * (1.0 - new_value / expected)
             warnings.append(
                 f"{label}: events/sec regressed {drop:.0f}% "
-                f"({old_value:,.0f} -> {new_value:,.0f})"
+                f"({expected:,.0f} calibrated -> {new_value:,.0f})"
             )
 
     def run_noise(entry: Dict) -> float:
@@ -563,7 +805,10 @@ def kernel_gain(baseline: Dict, current: Dict) -> Dict:
     through the simulation per wall second — the kernel-speed number,
     as opposed to the checking-path replay throughput), over the
     scenarios both artifacts measured.  The geometric mean is the
-    headline; ``min_speedup`` is the gate-friendly floor.
+    headline; ``min_speedup`` is the gate-friendly floor.  When both
+    artifacts carry a host-calibration stamp, ``calibrated_geomean``
+    normalizes away the host-speed difference — the number to hold
+    against a speedup target across different runners.
     """
     entries: Dict[str, Dict] = {}
     old_scenarios = baseline.get("scenarios", {})
@@ -584,11 +829,33 @@ def kernel_gain(baseline: Dict, current: Dict) -> Dict:
         if ratios
         else None
     )
+    cal = calibration_ratio(baseline, current)
     return {
         "scenarios": entries,
         "min_speedup": min(ratios) if ratios else None,
         "geomean_speedup": geomean,
+        "calibration_ratio": round(cal, 3),
+        "calibrated_geomean": round(geomean / cal, 3)
+        if geomean is not None and cal > 0
+        else None,
     }
+
+
+def _readable_name(name: str) -> str:
+    """Human attribution for one profile frame.
+
+    cProfile records the code object's qualname (bare name before
+    py3.11), so nested closures arrive as ``build_monitor.<locals>.feed``
+    and anonymous code as ``<lambda>``/``<genexpr>``.  The table and the
+    collapsed stacks should read as code the reader can find: the
+    ``<locals>`` hop is dropped and anonymous frames keep a stable
+    printable form (the ``file:line`` part of the label is what locates
+    them).
+    """
+    name = name.replace(".<locals>", "")
+    if name.startswith("<") and name.endswith(">"):
+        name = name[1:-1]
+    return name
 
 
 def _frame_label(func: Tuple[str, int, str]) -> str:
@@ -599,8 +866,56 @@ def _frame_label(func: Tuple[str, int, str]) -> str:
     """
     filename, lineno, name = func
     base = os.path.basename(filename) if filename not in ("~", "") else "~"
+    name = _readable_name(name)
     label = f"{base}:{lineno}:{name}" if lineno else f"{base}:{name}"
     return label.replace(";", ",").replace(" ", "_")
+
+
+def _render_profile_table(stats: pstats.Stats, top_n: int) -> str:
+    """Top-``top_n`` cumulative-time table with readable attribution.
+
+    Same columns as ``pstats.print_stats`` but rendered here so frame
+    names pass through :func:`_readable_name` — fused-block callbacks
+    and table-dispatched steps appear as the bound methods they are
+    (``microengine.py:...(Microengine._fused_advance)``), and compiled
+    monitor feeds lose the ``<locals>`` hop.
+    """
+    total_calls = 0
+    prim_calls = 0
+    total_tt = 0.0
+    for _cc, _nc, _tt, _ct, _callers in stats.stats.values():
+        total_calls += _nc
+        prim_calls += _cc
+        total_tt += _tt
+    calls = (
+        f"{total_calls} function calls"
+        if total_calls == prim_calls
+        else f"{total_calls} function calls ({prim_calls} primitive calls)"
+    )
+    lines = [
+        f"{calls} in {total_tt:.3f} seconds",
+        "",
+        f"{'ncalls':>12s} {'tottime':>9s} {'percall':>9s} "
+        f"{'cumtime':>9s} {'percall':>9s}  location(function)",
+    ]
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    for func, (cc, nc, tt, ct, _callers) in ranked[: max(0, top_n)]:
+        filename, lineno, name = func
+        if filename in ("~", ""):
+            where = f"{_readable_name(name)}"
+        else:
+            where = (
+                f"{os.path.basename(filename)}:{lineno}"
+                f"({_readable_name(name)})"
+            )
+        ncalls = str(nc) if nc == cc else f"{nc}/{cc}"
+        lines.append(
+            f"{ncalls:>12s} {tt:9.3f} {tt / nc if nc else 0.0:9.6f} "
+            f"{ct:9.3f} {ct / cc if cc else 0.0:9.6f}  {where}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def collapsed_stacks(stats: pstats.Stats) -> List[str]:
@@ -652,9 +967,8 @@ def profile_kernel(
         result = run.run()
     finally:
         profiler.disable()
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream)
-    stats.sort_stats("cumulative").print_stats(top_n)
+    stats = pstats.Stats(profiler)
+    table = _render_profile_table(stats, top_n)
     stacks = collapsed_stacks(stats)
     if stacks_path is not None:
         with open(stacks_path, "w", encoding="utf-8") as handle:
@@ -664,7 +978,7 @@ def profile_kernel(
         "profile": profile,
         "top_n": top_n,
         "events": _event_count(result),
-        "table": stream.getvalue(),
+        "table": table,
         "stack_lines": len(stacks),
         "stacks_path": stacks_path,
     }

@@ -103,6 +103,7 @@ class NpuChip:
         sim: Simulator,
         config: RunConfig,
         rng_streams: Optional[RngStreams] = None,
+        fuse: Optional[bool] = None,
     ):
         config.validate()
         self.sim = sim
@@ -149,8 +150,8 @@ class NpuChip:
         self.annotations = AnnotationProvider(
             self.reference_clock,
             energy_uj=self.accountant.total_energy_uj,
-            total_pkt=lambda: self.forwarded_packets,
-            total_bit=lambda: self.forwarded_bits,
+            total_pkt=self._total_forwarded_packets,
+            total_bit=self._total_forwarded_bits,
         )
         self.bus = TraceBus(self.annotations)
         self._emit_forward = NOOP_EMITTER
@@ -178,6 +179,14 @@ class NpuChip:
             TxRing(f"txring{k}") for k in range(len(npu.tx_me_indices))
         ]
         self._ports_per_tx_ring = npu.num_ports // len(npu.tx_me_indices)
+        #: ``out_port % num_ports`` indexes straight to the owning ring's
+        #: bound ``put`` — the ring arithmetic is paid once at build time
+        #: instead of per transmitted packet.
+        self._num_ports = npu.num_ports
+        self._ring_put_for_port = [
+            self.tx_rings[p // self._ports_per_tx_ring].put
+            for p in range(npu.num_ports)
+        ]
 
         # -- microengines -------------------------------------------------------
         self.mes: List[Microengine] = []
@@ -205,6 +214,7 @@ class NpuChip:
                     on_put_tx=self._on_put_tx,
                     on_drop=self._on_drop,
                     materialize=self.app.materialize_rx,
+                    fuse=fuse,
                 )
             else:
                 pos = tx_position[me_index]
@@ -214,7 +224,11 @@ class NpuChip:
                     me_index,
                     "tx",
                     self.tx_rings[pos],
-                    self.app.tx_steps,
+                    (
+                        self.app.tx_steps_list
+                        if self.app.materialize_tx
+                        else self.app.tx_steps
+                    ),
                     self.memories,
                     num_threads=npu.threads_per_me,
                     poll_instructions=npu.poll_instructions,
@@ -223,6 +237,7 @@ class NpuChip:
                     on_packet_done=self._on_tx_done,
                     on_drop=self._on_drop,
                     materialize=self.app.materialize_tx,
+                    fuse=fuse,
                 )
             self.accountant.attach_me(me)
             self.mes.append(me)
@@ -277,20 +292,34 @@ class NpuChip:
     # ------------------------------------------------------------------
     # Receive-side hooks
     # ------------------------------------------------------------------
+    def _total_forwarded_packets(self) -> int:
+        """Annotation provider callback (named so profiles attribute it)."""
+        return self.forwarded_packets
+
+    def _total_forwarded_bits(self) -> int:
+        """Annotation provider callback (named so profiles attribute it)."""
+        return self.forwarded_bits
+
     def _on_arrival(self, packet: Packet) -> None:
         self.offered_packets += 1
         self.offered_bits += packet.size_bits
         self.traffic_monitor.add(packet.size_bits)
         if self._emit_arrival is not None:
             self._emit_arrival()
-        for hook in self.arrival_hooks:
-            hook()
+        hooks = self.arrival_hooks
+        if hooks:
+            for hook in hooks:
+                hook()
 
     def _make_rx_steps(self, packet: Packet):
         handle = self.buffer_pool.allocate()
         if handle is None:
             return self._drop_steps(packet)
         self._buffer_handles[packet.seq] = handle
+        if self.app.materialize_rx:
+            # Materializing engines take the (possibly shared, memoized)
+            # list directly — no per-packet generator walk.
+            return self.app.rx_steps_list(packet)
         return self.app.rx_steps(packet)
 
     def _drop_steps(self, packet: Packet):
@@ -306,8 +335,7 @@ class NpuChip:
         out_port = packet.output_port
         if out_port is None:
             out_port = packet.input_port
-        ring_index = (out_port % self.config.npu.num_ports) // self._ports_per_tx_ring
-        self.tx_rings[ring_index].put(packet)
+        self._ring_put_for_port[out_port % self._num_ports](packet)
 
     def _on_tx_done(self, packet: Packet) -> None:
         self.ports.transmit(packet)
@@ -364,6 +392,16 @@ class NpuChip:
         )
 
 
-def build_chip(config: RunConfig, sim: Optional[Simulator] = None) -> NpuChip:
-    """Convenience constructor: fresh simulator + chip from a config."""
-    return NpuChip(sim or Simulator(), config)
+def build_chip(
+    config: RunConfig,
+    sim: Optional[Simulator] = None,
+    fuse: Optional[bool] = None,
+) -> NpuChip:
+    """Convenience constructor: fresh simulator + chip from a config.
+
+    ``fuse`` forces compute fusion on (``True``) or off (``False``) for
+    every microengine; ``None`` defers to the ``REPRO_FUSE`` environment
+    default (on).  Fused and unfused runs are byte-identical — the knob
+    exists for A/B benchmarking and the equivalence test walls.
+    """
+    return NpuChip(sim or Simulator(), config, fuse=fuse)

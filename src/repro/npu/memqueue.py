@@ -23,7 +23,7 @@ check.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import MemoryModelError
 from repro.sim.kernel import Simulator
@@ -77,6 +77,13 @@ class QueuedResource:
         self.total_wait_ps = 0
         self.max_wait_ps = 0
         self._trace_emit: Optional[Callable[[], None]] = None
+        #: ``nbytes -> (hold_ps, latency_ps)``.  The per-byte term is the
+        #: only size-dependent arithmetic and request sizes cluster on a
+        #: handful of packet lengths, so the service-time computation is
+        #: memoized the way ``ClockDomain.delay_for_cycles`` is.  Pure
+        #: derivation from constructor constants — never invalidated.
+        self._service_cache: Dict[int, Tuple[int, int]] = {}
+        self._post_at = sim.post_at
 
     def bind_trace(self, bus, event_name: Optional[str] = None) -> None:
         """Bind this controller's per-request trace emitter.
@@ -96,15 +103,24 @@ class QueuedResource:
 
         Returns the absolute completion time in picoseconds.
         """
-        if nbytes <= 0:
-            raise MemoryModelError(f"{self.name}: request size must be positive")
+        service = self._service_cache.get(nbytes)
+        if service is None:
+            if nbytes <= 0:
+                raise MemoryModelError(
+                    f"{self.name}: request size must be positive"
+                )
+            transfer_ps = round(nbytes * self._byte_ps)
+            service = (
+                self._occupancy_ps + transfer_ps,
+                self._access_ps + transfer_ps,
+            )
+            self._service_cache[nbytes] = service
+        hold, latency = service
         now = self.sim.now_ps
-        transfer_ps = round(nbytes * self._byte_ps)
         start = now if now > self._free_at_ps else self._free_at_ps
         wait = start - now
-        hold = self._occupancy_ps + transfer_ps
         self._free_at_ps = start + hold
-        done = start + self._access_ps + transfer_ps
+        done = start + latency
 
         self.requests += 1
         self.bytes_moved += nbytes
@@ -117,7 +133,7 @@ class QueuedResource:
         if self._trace_emit is not None:
             self._trace_emit()
 
-        self.sim.post_at(done, callback, *args)
+        self._post_at(done, callback, *args)
         return done
 
     # ------------------------------------------------------------------

@@ -21,9 +21,10 @@ produce the same vocabulary, so they share this engine.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from itertools import chain
-from typing import Callable, Deque, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Iterator, List, Optional
 
 from repro.errors import NpuError, SimulationError
 from repro.npu.steps import (
@@ -36,10 +37,9 @@ from repro.npu.steps import (
     Compute,
     FusedCompute,
     Step,
-    materialize_steps,
 )
 from repro.sim.clock import ClockDomain
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Simulator
 from repro.sim.stats import IntervalAccumulator
 from repro.traffic.packet import Packet
 
@@ -50,6 +50,21 @@ BUSY, IDLE, STALLED = "busy", "idle", "stalled"
 #: application bug (a step stream that never advances simulated time).
 _ZERO_TIME_LIMIT = 10_000
 
+#: Environment switch for compute fusion (``"off"``/``"0"``/``"false"``/
+#: ``"no"`` disables it).  Default on: the seq-relay execution scheme
+#: (see :meth:`Microengine._fused_advance`) is bit-identical to unfused
+#: execution, so fusion is a pure fast path.  Deliberately an environment
+#: variable and not a :class:`~repro.config.RunConfig` field — config
+#: hashes (and therefore sweep-cache job identity) must not depend on a
+#: knob that cannot change results.
+FUSE_ENV_VAR = "REPRO_FUSE"
+
+
+def fusion_enabled() -> bool:
+    """Whether compute fusion is on (the ``REPRO_FUSE`` switch)."""
+    value = os.environ.get(FUSE_ENV_VAR, "").strip().lower()
+    return value not in ("off", "0", "false", "no")
+
 
 def _ignore_completion() -> None:
     """Completion callback for posted (fire-and-forget) transfers."""
@@ -58,13 +73,18 @@ def _ignore_completion() -> None:
 class _HwThread:
     """One hardware thread's context."""
 
-    __slots__ = ("index", "waiting", "packet", "step_iter")
+    __slots__ = ("index", "waiting", "packet", "step_iter", "pushback")
 
     def __init__(self, index: int):
         self.index = index
         self.waiting = False  # blocked on a memory reference
         self.packet: Optional[Packet] = None
         self.step_iter: Optional[Iterator[Step]] = None
+        #: One step read ahead of execution.  The fused-compute
+        #: lookahead consumes steps until the compute run ends and parks
+        #: the run-ending step here; the arbiter drains it before
+        #: touching ``step_iter`` again.
+        self.pushback: Optional[Step] = None
 
 
 class RxPortMux:
@@ -75,17 +95,39 @@ class RxPortMux:
             raise NpuError("RxPortMux needs at least one port")
         self.ports = ports
         self._next = 0
+        # Precomputed probe tables, one rotation per starting port: each
+        # entry pairs a pre-bound queue-poll method with the successor
+        # index to store on a hit.  The hot poll loop walks bound methods
+        # instead of recomputing modular indices and attribute chains.
+        count = len(ports)
+        self._probe_tables = [
+            tuple(
+                (ports[(start + off) % count].rx_queue.poll,
+                 (start + off + 1) % count)
+                for off in range(count)
+            )
+            for start in range(count)
+        ]
+        # The queues' backing deques, for the empty-poll fast path: a
+        # truthiness test per deque is several times cheaper than a
+        # bound ``poll()`` call per port, and a missed poll (every port
+        # empty) is the engine's steady state under light load.  Safe to
+        # alias: a PacketQueue's deque identity is fixed for its life.
+        self._queue_items = tuple(port.rx_queue._items for port in ports)
 
     def poll(self) -> Optional[Packet]:
         """Return a packet from the next non-empty port queue, if any."""
-        count = len(self.ports)
-        for offset in range(count):
-            port = self.ports[(self._next + offset) % count]
-            packet = port.rx_queue.poll()
+        for items in self._queue_items:
+            if items:
+                break
+        else:
+            return None
+        for queue_poll, successor in self._probe_tables[self._next]:
+            packet = queue_poll()
             if packet is not None:
-                self._next = (self._next + offset + 1) % count
+                self._next = successor
                 return packet
-        return None
+        return None  # pragma: no cover - unreachable (a queue was non-empty)
 
 
 class Microengine:
@@ -122,12 +164,14 @@ class Microengine:
         streams (``AppModel.materialize_rx`` / ``materialize_tx``);
         execution is bit-identical to lazy iteration.
     fuse:
-        With ``materialize``, additionally collapse adjacent computes
-        into single completion events.  Per-ME observables stay exact,
-        but equal-picosecond event ties against other components may
-        resolve differently than unfused execution, so full-system
-        byte-reproducibility is only guaranteed with ``fuse=False``
-        (the default; see ``_fuse`` below).
+        With ``materialize``, additionally execute adjacent computes as
+        one :class:`~repro.npu.steps.FusedCompute` block via the
+        seq-relay (see :meth:`_fused_advance`).  The relay charges and
+        times each part at exactly the instants unfused execution
+        would, so full-system runs — including equal-picosecond event
+        ties against other components — are bit-identical to unfused
+        execution.  ``None`` (the default) resolves the ``REPRO_FUSE``
+        environment switch, which defaults to on.
     """
 
     def __init__(
@@ -147,7 +191,7 @@ class Microengine:
         on_packet_done: Optional[Callable[[Packet], None]] = None,
         on_drop: Optional[Callable[[Packet, str], None]] = None,
         materialize: bool = False,
-        fuse: bool = False,
+        fuse: Optional[bool] = None,
     ):
         if role not in ("rx", "tx"):
             raise NpuError(f"role must be 'rx' or 'tx', got {role!r}")
@@ -160,9 +204,25 @@ class Microengine:
         self.work_source = work_source
         self.make_steps = make_steps
         self.memories = memories
+        # Hot-path bindings: the arbiter loop runs tens of thousands of
+        # times per simulated millisecond, so the per-call attribute
+        # chains are pre-resolved once.  ``work_source``, the kernel and
+        # the clock are construction-time-final (nothing rebinds them).
+        self._ws_poll = work_source.poll
+        self._post = sim.post
+        self._delay_for_cycles = clock.delay_for_cycles
         self.poll_instructions = poll_instructions
         self.poll_counts_as_idle = poll_counts_as_idle
         self.ctx_switch_cycles = ctx_switch_cycles
+        # Fixed-cycle delays the arbiter pays tens of thousands of times
+        # per run, resolved to picoseconds once per frequency instead of
+        # once per event.  ``set_frequency`` fires ``on_change`` after
+        # clearing the clock's own memo, so the refresh below re-derives
+        # both from the new rate — values stay bit-identical to calling
+        # ``delay_for_cycles`` at every poll.
+        self._poll_delay_ps = self._delay_for_cycles(poll_instructions)
+        self._ctx_delay_ps = self._delay_for_cycles(ctx_switch_cycles)
+        clock.on_change.append(self._refresh_fixed_delays)
         self.on_put_tx = on_put_tx
         self.on_packet_done = on_packet_done
         self.on_drop = on_drop
@@ -196,26 +256,34 @@ class Microengine:
         #: applications whose streams are pure (``materialize_rx`` /
         #: ``materialize_tx`` on the app model).
         self._materialize = materialize
-        #: Additionally fuse adjacent computes into single completion
-        #: events.  Opt-in only: per-ME timing and counters are exact
-        #: (see tests/test_fastpath.py), but a fused block's completion
-        #: event draws its kernel sequence number at block start, so
-        #: equal-picosecond ties against *other* components can resolve
-        #: in a different order than unfused execution — full-system
-        #: runs are deterministic but not bit-identical to unfused ones.
-        self._fuse = fuse and materialize
-        #: In-flight fused-compute plan: ``(handle, boundaries, parts,
-        #: thread)`` where ``boundaries`` are the absolute per-part
-        #: completion times.  At most one exists (a single thread
-        #: computes at a time); stalls, frequency changes and run end
-        #: re-plan it back into per-part form so every observable matches
-        #: the unfused execution exactly.
-        self._fused_plan: Optional[
-            Tuple[Event, List[int], tuple, _HwThread]
-        ] = None
-        if self._fuse:
-            clock.on_change.append(self._replan_fused)
-            sim.on_run_end.append(self._settle_fused)
+        #: Execute runs of adjacent computes via the seq-relay (default
+        #: on, ``REPRO_FUSE`` to override).  Bit-identical to unfused
+        #: execution by construction: each part is charged, timed and
+        #: seq-numbered at exactly the unfused instants, so no replan or
+        #: run-end settling is needed — stalls, frequency changes and
+        #: runs ending mid-block all observe unfused state.  Fusion
+        #: happens at execution, not at materialization: when the
+        #: arbiter decodes a compute it reads ahead until the run ends
+        #: (pure list iteration — lookahead is only enabled for
+        #: materialized streams) and relays the whole run, so packets
+        #: whose streams have no adjacent computes pay nothing.
+        self._fuse = (fusion_enabled() if fuse is None else bool(fuse)) and (
+            materialize
+        )
+        #: Live per-bind gate: fusion is suspended while a per-block
+        #: observer (pipeline emitter / instruction listener) needs the
+        #: original block boundaries.  Refreshed at every packet bind.
+        self._fuse_exec = False
+        #: In-flight fused-compute relay cursor.  At most one fused block
+        #: is in flight per engine (a single thread computes at a time),
+        #: so the cursor lives on the engine itself: no per-block plan
+        #: object, no per-part bound-method allocation — the relay posts
+        #: the prebound callback with no arguments.
+        self._fused_parts: tuple = ()
+        self._fused_n = 0
+        self._fused_index = 0
+        self._fused_thread: Optional[_HwThread] = None
+        self._fused_relay = self._fused_advance
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -239,6 +307,11 @@ class Microengine:
         self.vdd = vdd
         self._notify_power()
 
+    def _refresh_fixed_delays(self) -> None:
+        """Clock ``on_change`` listener: re-derive cached fixed delays."""
+        self._poll_delay_ps = self._delay_for_cycles(self.poll_instructions)
+        self._ctx_delay_ps = self._delay_for_cycles(self.ctx_switch_cycles)
+
     def stall_for(self, duration_ps: int) -> None:
         """Freeze execution for a VF-transition penalty.
 
@@ -253,11 +326,10 @@ class Microengine:
         if end > self._stall_until_ps:
             self._stall_until_ps = end
             self.sim.post_at(end, self._maybe_unstall, end)
-        if self._fused_plan is not None:
-            # A fused compute block is in flight: fall back to per-part
-            # completions so the thread parks at the same instant (and
-            # with the same instruction count) as unfused execution.
-            self._replan_fused()
+        # An in-flight fused block needs no intervention: its relay event
+        # observes ``_stalled`` at the next part boundary and parks the
+        # thread there — the same instant (and instruction count) as
+        # unfused execution (see _fused_advance).
         if self._current is None:
             # Nothing mid-compute: the engine freezes as of now; an
             # in-flight compute instead parks its thread on completion.
@@ -288,7 +360,8 @@ class Microengine:
             return
         thread = self._ready.popleft()
         self._current = thread
-        self._set_state(BUSY)
+        if self.states.state != BUSY:
+            self._set_state(BUSY)
         self._continue(thread)
 
     def _continue(self, thread: _HwThread) -> None:
@@ -299,13 +372,23 @@ class Microengine:
                 if self._acquire(thread):
                     continue  # packet bound; execute its steps
                 return  # polling: a timed wait was scheduled
-            step = next(step_iter, None)
+            step = thread.pushback
+            if step is None:
+                step = next(step_iter, None)
+            else:
+                thread.pushback = None
             if step is None:
                 self._finish_packet(thread)
                 continue
             op = step.op
             if op == OP_COMPUTE:
-                self._run_compute(thread, step.instructions)
+                if self._fuse_exec:
+                    self._run_compute_fused(thread, step, step_iter)
+                else:
+                    self._run_compute(thread, step.instructions)
+                return
+            if op == OP_FUSED_COMPUTE:
+                self._run_fused(thread, step)
                 return
             if op == OP_MEM_BLOCKING:
                 self._issue_memory(thread, step)
@@ -314,9 +397,6 @@ class Microengine:
                 self._count_zero_time()
                 self._post_memory(step)
                 continue
-            if op == OP_FUSED_COMPUTE:
-                self._run_fused(thread, step)
-                return
             if op == OP_PUT_TX:
                 self._count_zero_time()
                 if self.on_put_tx is not None and thread.packet is not None:
@@ -332,41 +412,50 @@ class Microengine:
             raise NpuError(f"ME{self.index}: unknown step {step!r}")
 
     def _acquire(self, thread: _HwThread) -> bool:
-        packet = self.work_source.poll()
+        packet = self._ws_poll()
         if packet is not None:
-            self._zero_time_ops = 0
-            thread.packet = packet
-            steps = self.make_steps(packet)
-            if self._materialize:
-                # Pure stream: list it out (C-speed iteration) and fuse
-                # adjacent computes — unless a per-block observer needs
-                # the original block boundaries.
-                steps = iter(
-                    materialize_steps(
-                        steps,
-                        fuse=(
-                            self._fuse
-                            and self.pipeline_emitter is None
-                            and self.on_instructions is None
-                        ),
-                    )
-                )
-            thread.step_iter = steps
+            self._bind_packet(thread, packet)
             return True
+        self._charge_poll(thread)
+        return False
+
+    def _bind_packet(self, thread: _HwThread, packet: Packet) -> None:
+        self._zero_time_ops = 0
+        thread.packet = packet
+        steps = self.make_steps(packet)
+        if self._materialize:
+            # Pure stream: execute off a list (C-speed iteration).  The
+            # app usually hands one over already — possibly shared and
+            # memoized, which is safe because iteration never mutates
+            # the list and steps are immutable.  Compute runs are fused
+            # at execution time (see _continue), not here — a per-packet
+            # fusion scan costs more than the relay saves on streams
+            # with few adjacent computes.
+            if steps.__class__ is not list:
+                steps = list(steps)
+            steps = iter(steps)
+            self._fuse_exec = (
+                self._fuse
+                and self.pipeline_emitter is None
+                and self.on_instructions is None
+            )
+        thread.pushback = None
+        thread.step_iter = steps
+
+    def _charge_poll(self, thread: _HwThread) -> None:
         # Busy-poll: burn cycles checking queues, then let the next
         # ready thread have the engine (round-robin).
         self.polls += 1
-        delay = self.clock.delay_for_cycles(self.poll_instructions)
-        self.instructions_executed += self.poll_instructions
+        instructions = self.poll_instructions
+        self.instructions_executed += instructions
         if self.pipeline_emitter is not None:
             self.pipeline_emitter()
         if self.on_instructions is not None:
-            self.on_instructions(self.index, self.poll_instructions)
+            self.on_instructions(self.index, instructions)
         if self.poll_counts_as_idle:
             # Ablation accounting: treat the poll loop as idle time.
             self._set_state(IDLE)
-        self.sim.post(delay, self._poll_done, thread)
-        return False
+        self._post(self._poll_delay_ps, self._poll_done, thread)
 
     def _run_compute(self, thread: _HwThread, instructions: int) -> None:
         self._zero_time_ops = 0
@@ -375,31 +464,61 @@ class Microengine:
             self.pipeline_emitter()
         if self.on_instructions is not None:
             self.on_instructions(self.index, instructions)
-        delay = self.clock.delay_for_cycles(instructions)
-        self.sim.post(delay, self._compute_done, thread)
+        self._post(
+            self._delay_for_cycles(instructions), self._compute_done, thread
+        )
 
-    def _run_fused(self, thread: _HwThread, step: FusedCompute) -> None:
-        """Execute a fused compute block with one completion event.
+    def _run_compute_fused(self, thread: _HwThread, step, step_iter) -> None:
+        """Decode a compute with run lookahead: fuse adjacent computes.
 
-        Instructions are charged up front (each part would be charged at
-        its start anyway, and the block is uninterruptible except by the
-        re-plan paths, which refund un-started parts).  The delay is the
-        sum of per-part delays so rounding matches unfused execution.
+        Reads ahead until the compute run ends — on a materialized
+        stream that is pure list iteration, so every step is still
+        ``next()``-ed exactly once — and parks the run-ending step in
+        ``thread.pushback``.  A lone compute follows the plain path; a
+        run of two or more arms the seq relay (:meth:`_fused_advance`).
+        Only the first part is charged and timed here — exactly what
+        unfused execution does at this instant.
         """
         self._zero_time_ops = 0
-        self.instructions_executed += step.instructions
-        if self.pipeline_emitter is not None:
-            self.pipeline_emitter()
-        if self.on_instructions is not None:
-            self.on_instructions(self.index, step.instructions)
-        delay_for_cycles = self.clock.delay_for_cycles
-        t = self.sim.now_ps
-        bounds: List[int] = []
-        for part in step.parts:
-            t += delay_for_cycles(part)
-            bounds.append(t)
-        handle = self.sim.schedule_at(t, self._fused_done, thread)
-        self._fused_plan = (handle, bounds, step.parts, thread)
+        first = step.instructions
+        self.instructions_executed += first
+        nxt = next(step_iter, None)
+        if nxt is None or nxt.__class__ is not Compute:
+            thread.pushback = nxt
+            self._post(self._delay_for_cycles(first), self._compute_done, thread)
+            return
+        parts = [first, nxt.instructions]
+        append = parts.append
+        while True:
+            nxt = next(step_iter, None)
+            if nxt is None or nxt.__class__ is not Compute:
+                break
+            append(nxt.instructions)
+        thread.pushback = nxt
+        self._fused_parts = parts
+        self._fused_n = len(parts)
+        self._fused_index = 1
+        self._fused_thread = thread
+        self._post(self._delay_for_cycles(first), self._fused_relay)
+
+    def _run_fused(self, thread: _HwThread, step: FusedCompute) -> None:
+        """Begin a fused compute block: issue part 1, arm the seq relay.
+
+        Handles explicit :class:`FusedCompute` steps — a stall-requeued
+        run tail, or streams pre-fused with ``materialize_steps``.  Only
+        the first part is charged and timed here — exactly what unfused
+        execution does at this instant.  Subsequent parts are issued by
+        :meth:`_fused_advance` at their unfused start times.
+        """
+        self._zero_time_ops = 0
+        parts = step.parts
+        first = parts[0]
+        self.instructions_executed += first
+        self._fused_parts = parts
+        self._fused_n = len(parts)
+        self._fused_index = 1
+        self._fused_thread = thread
+        self._post(self._delay_for_cycles(first), self._fused_relay)
 
     def _post_memory(self, step) -> None:
         try:
@@ -427,16 +546,49 @@ class Microengine:
         # ready thread to switch to; with every other thread blocked the
         # engine goes idle (or stalled) as of the issue itself.
         if self.ctx_switch_cycles > 0 and self._ready:
-            delay = self.clock.delay_for_cycles(self.ctx_switch_cycles)
-            self.sim.post(delay, self._dispatch)
+            self._post(self._ctx_delay_ps, self._dispatch)
         else:
             self._dispatch()
 
     # -- timed-action completions ------------------------------------------
     def _poll_done(self, thread: _HwThread) -> None:
-        self._current = None
-        self._ready.append(thread)
-        self._dispatch()
+        """Poll delay elapsed: rotate to the next ready thread.
+
+        This is the engine's steady state under light load, so the whole
+        round-robin cycle — park the poller, dispatch the next thread,
+        re-poll, charge, re-post — runs inline here.  Behaviour is
+        exactly ``_dispatch`` + ``_continue`` + ``_acquire``; only the
+        intermediate frames are elided.
+        """
+        ready = self._ready
+        ready.append(thread)
+        if self._stalled:
+            self._current = None
+            self._set_state(STALLED)
+            return
+        nxt = ready.popleft()
+        self._current = nxt
+        if self.states.state != BUSY:
+            self._set_state(BUSY)
+        if nxt.step_iter is None:
+            packet = self._ws_poll()
+            if packet is None:
+                # Missed poll: charge it inline (the _charge_poll body,
+                # minus the call frame — this is the most-executed
+                # branch in the whole simulator).
+                self.polls += 1
+                instructions = self.poll_instructions
+                self.instructions_executed += instructions
+                if self.pipeline_emitter is not None:
+                    self.pipeline_emitter()
+                if self.on_instructions is not None:
+                    self.on_instructions(self.index, instructions)
+                if self.poll_counts_as_idle:
+                    self._set_state(IDLE)
+                self._post(self._poll_delay_ps, self._poll_done, nxt)
+                return
+            self._bind_packet(nxt, packet)
+        self._continue(nxt)
 
     def _compute_done(self, thread: _HwThread) -> None:
         if self._stalled:
@@ -448,73 +600,52 @@ class Microengine:
             return
         self._continue(thread)
 
-    def _fused_done(self, thread: _HwThread) -> None:
-        self._fused_plan = None
+    def _fused_advance(self) -> None:
+        """Seq-relay boundary: one part of a fused block just completed.
+
+        Fires at exactly the (time, seq) of the unfused part's completion
+        event — the relay draws each kernel sequence number at the
+        instant unfused execution would, so the shared seq counter, and
+        therefore every equal-picosecond tie against other components'
+        events, is bit-identical to unfused execution.  The common case
+        issues the next part: charge it and re-post the relay (what
+        ``_compute_done`` + ``_continue`` + ``_run_compute`` would do,
+        minus the step-iterator walk, the per-part bound-method build
+        and the callback-argument tuple).  A stall boundary or the final
+        part falls back to ``_compute_done``; un-started parts were
+        never charged, so there is nothing to refund — a stall re-queues
+        them and they re-issue at the unfused instants (a frequency
+        change needs no handling at all: parts issued after it pick up
+        the new rate here, and the in-flight part keeps its delay, just
+        like unfused computes).
+        """
+        i = self._fused_index
+        if i < self._fused_n and not self._stalled:
+            self._fused_index = i + 1
+            part = self._fused_parts[i]
+            self.instructions_executed += part
+            self._post(self._delay_for_cycles(part), self._fused_relay)
+            return
+        thread = self._fused_thread
+        if i < self._fused_n:
+            # Parked mid-block: re-queue the un-started tail so it
+            # re-issues (and is charged) at the unfused instants — ahead
+            # of the run-ending step the lookahead may have parked.
+            rest = self._fused_parts[i:]
+            follow: Step = (
+                FusedCompute(rest) if len(rest) >= 2 else Compute(rest[0])
+            )
+            if thread.pushback is None:
+                thread.pushback = follow
+            else:
+                thread.step_iter = chain(
+                    (follow, thread.pushback), thread.step_iter
+                )
+                thread.pushback = None
+        self._fused_parts = ()
+        self._fused_n = 0
+        self._fused_thread = None
         self._compute_done(thread)
-
-    def _replan_fused(self) -> None:
-        """Split an in-flight fused block back into per-part execution.
-
-        Called when a stall or frequency change interrupts the block.
-        The part in flight *now* keeps its already-scheduled timing (an
-        unfused compute's delay is likewise fixed at issue); un-started
-        parts are refunded and re-queued as ordinary steps, so they are
-        re-charged and re-timed exactly as unfused execution would.  The
-        boundary search is non-strict (``bounds[j] >= now``) because a
-        part completing at this very picosecond has not fired yet.
-        """
-        plan = self._fused_plan
-        if plan is None:
-            return
-        self._fused_plan = None
-        handle, bounds, parts, thread = plan
-        handle.cancel()
-        now = self.sim.now_ps
-        j = 0
-        while bounds[j] < now:
-            j += 1
-        rest = parts[j + 1 :]
-        if rest:
-            self.instructions_executed -= sum(rest)
-            follow: Step = (
-                FusedCompute(rest) if len(rest) >= 2 else Compute(rest[0])
-            )
-            thread.step_iter = chain((follow,), thread.step_iter)
-        self.sim.post_at(bounds[j], self._compute_done, thread)
-
-    def _settle_fused(self) -> None:
-        """Reconcile counters when a run ends mid-fused-block.
-
-        Unfused execution charges each part at its *start*, so at run end
-        a part that has not started yet is uncharged.  The search here is
-        strict (``bounds[j] > now``): events at exactly ``until_ps`` have
-        already fired, so a part completing now is finished and its
-        successor (starting now) is charged.  The re-queued remainder
-        keeps a resumed run bit-identical to unfused execution.
-        """
-        plan = self._fused_plan
-        if plan is None:
-            return
-        handle, bounds, parts, thread = plan
-        self._fused_plan = None
-        now = self.sim.now_ps
-        if bounds[-1] <= now:
-            # Aborted (``stop()``) at or past the block's end: every part
-            # started, all charges stand, and the queued completion event
-            # finishes the block if the run resumes.
-            return
-        handle.cancel()
-        j = 0
-        while bounds[j] <= now:
-            j += 1
-        rest = parts[j + 1 :]
-        if rest:
-            self.instructions_executed -= sum(rest)
-            follow: Step = (
-                FusedCompute(rest) if len(rest) >= 2 else Compute(rest[0])
-            )
-            thread.step_iter = chain((follow,), thread.step_iter)
-        self.sim.post_at(bounds[j], self._compute_done, thread)
 
     def _mem_done(self, thread: _HwThread) -> None:
         thread.waiting = False

@@ -16,7 +16,7 @@ The port array is where the chip meets the outside world:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import NpuError
 from repro.npu.fifo import PacketQueue
@@ -46,6 +46,12 @@ class DevicePort:
         self._tx_free_at_ps = 0
         self.tx_packets = 0
         self.tx_bits = 0
+        #: ``size_bytes -> serialization_ps``.  Wire time depends only on
+        #: size and the port's fixed rate, and traffic models draw from a
+        #: small set of packet lengths, so the float division in
+        #: :func:`transmit_time_ps` is paid once per distinct size.
+        self._tx_time_cache: Dict[int, int] = {}
+        self._post_at = sim.post_at
 
     # -- transmit side ---------------------------------------------------
     def transmit(self, packet: Packet, on_done: Callable[[Packet], None]) -> int:
@@ -54,13 +60,18 @@ class DevicePort:
         Returns the completion time (ps).  Back-to-back packets queue
         behind the port's serializer.
         """
+        size = packet.size_bytes
+        wire_ps = self._tx_time_cache.get(size)
+        if wire_ps is None:
+            wire_ps = transmit_time_ps(size, self.rate_bps)
+            self._tx_time_cache[size] = wire_ps
         now = self.sim.now_ps
         start = now if now > self._tx_free_at_ps else self._tx_free_at_ps
-        done = start + transmit_time_ps(packet.size_bytes, self.rate_bps)
+        done = start + wire_ps
         self._tx_free_at_ps = done
         self.tx_packets += 1
         self.tx_bits += packet.size_bits
-        self.sim.post_at(done, on_done, packet)
+        self._post_at(done, on_done, packet)
         return done
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -112,6 +123,12 @@ class PortArray:
         self.on_forward = on_forward
         self.rx_dropped = 0
         self._emit_fifo: Optional[Callable[[], None]] = None
+        #: Dispatch table for the transmit path: ``out % nports`` indexes
+        #: straight to the port's bound ``transmit`` method, skipping the
+        #: per-packet attribute chain.
+        self._nports = num_ports
+        self._transmit_table = [port.transmit for port in self.ports]
+        self._ixbus_request = ixbus.request
 
     def bind_trace(self, bus) -> None:
         """Bind the ``fifo`` emitter on the run's trace bus.
@@ -144,7 +161,7 @@ class PortArray:
             self.rx_dropped += 1
             return
         port.rx_queue_reserved += 1
-        self.ixbus.request(packet.size_bytes, self._bus_done, port, packet)
+        self._ixbus_request(packet.size_bytes, self._bus_done, port, packet)
 
     def _bus_done(self, port: DevicePort, packet: Packet) -> None:
         port.rx_queue_reserved -= 1
@@ -162,8 +179,7 @@ class PortArray:
         out_index = packet.output_port
         if out_index is None:
             out_index = packet.input_port
-        port = self.ports[out_index % len(self.ports)]
-        port.transmit(packet, self._tx_done)
+        self._transmit_table[out_index % self._nports](packet, self._tx_done)
 
     def _tx_done(self, packet: Packet) -> None:
         if self.on_forward is not None:

@@ -62,12 +62,22 @@ class Compute(Step):
 class FusedCompute(Step):
     """A run of consecutive :class:`Compute` steps executed as one block.
 
-    Produced by :func:`materialize_steps`; applications never yield it
-    directly.  The block schedules a single completion event whose delay
-    is the *sum of the per-part delays* (each part rounded separately),
-    so its timing is bit-identical to executing the parts back to back.
-    The microengine re-plans an in-flight block when a stall or frequency
-    change interrupts it (see ``Microengine._replan_fused``).
+    Produced by :func:`materialize_steps` or by the microengine itself
+    (a stall re-queues a run's uncharged tail this way); applications
+    never yield it directly.  In normal operation the microengine fuses
+    compute runs *at execution time* — the arbiter's lookahead, see
+    ``Microengine._run_compute_fused`` — rather than carrying fused
+    steps in the stream.  Either way the run executes as a *seq relay*:
+    the engine charges one part at a time and posts the boundary event
+    at exactly the instant the unfused step's completion would land
+    (see ``Microengine._fused_advance``), so timing, kernel sequence
+    layout, and equal-picosecond tie ordering are all bit-identical to
+    executing the parts back to back.  What fusion saves is the
+    per-part trip through the ready queue, the thread dispatcher, and
+    the step decoder — not the events themselves.  A stall interrupting
+    the block re-queues the uncharged tail as a fresh step; a frequency
+    change needs no handling at all, because every part draws its delay
+    from the clock when it is charged.
     """
 
     __slots__ = ("instructions", "parts")
@@ -82,6 +92,19 @@ class FusedCompute(Step):
             raise NpuError(f"FusedCompute parts must be positive, got {parts!r}")
         self.parts = parts
         self.instructions = sum(parts)
+
+    @classmethod
+    def _from_run(cls, parts: List[int]) -> "FusedCompute":
+        """Unchecked constructor for the materialization pass.
+
+        ``parts`` are the counts of already-validated :class:`Compute`
+        steps (each positive, two or more of them), so the public
+        constructor's re-validation is pure per-packet overhead here.
+        """
+        fused = cls.__new__(cls)
+        fused.parts = tuple(parts)
+        fused.instructions = sum(parts)
+        return fused
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FusedCompute({self.parts!r})"
@@ -168,27 +191,41 @@ def materialize_steps(stream: Iterable[Step], fuse: bool = True) -> List[Step]:
 
     With ``fuse``, maximal runs of two or more adjacent :class:`Compute`
     steps collapse into one :class:`FusedCompute`; single computes keep
-    their original objects.
+    their original objects.  The microengine itself materializes
+    *unfused* and fuses at execution time instead (the arbiter lookahead
+    only touches compute runs, so streams without adjacent computes pay
+    nothing); pre-fused streams remain fully supported.
     """
-    steps = list(stream)
     if not fuse:
-        return steps
+        return list(stream)
+    # Single pass, straight off the generator: this runs per packet
+    # bind, so it competes with a bare ``list(stream)`` — no
+    # intermediate list, no re-validation, and the (common) length-1
+    # run keeps its original Compute without ever building a list.
     out: List[Step] = []
-    run: List[Compute] = []
-    for step in steps:
+    append = out.append
+    run_first = None  # sole Compute of the current run
+    run_parts = None  # its counts, once the run reaches length two
+    for step in stream:
         if step.__class__ is Compute:
-            run.append(step)
-            continue
-        if run:
-            if len(run) == 1:
-                out.append(run[0])
+            if run_first is None:
+                run_first = step
+            elif run_parts is None:
+                run_parts = [run_first.instructions, step.instructions]
             else:
-                out.append(FusedCompute(c.instructions for c in run))
-            run = []
-        out.append(step)
-    if run:
-        if len(run) == 1:
-            out.append(run[0])
+                run_parts.append(step.instructions)
+            continue
+        if run_first is not None:
+            if run_parts is None:
+                append(run_first)
+            else:
+                append(FusedCompute._from_run(run_parts))
+                run_parts = None
+            run_first = None
+        append(step)
+    if run_first is not None:
+        if run_parts is None:
+            append(run_first)
         else:
-            out.append(FusedCompute(c.instructions for c in run))
+            append(FusedCompute._from_run(run_parts))
     return out

@@ -84,6 +84,12 @@ class PowerAccountant:
             "scratch": config.scratch_access_nj,
             "ixbus": 0.0,
         }
+        # (access, per-byte) pairs in one table: ``on_memory_energy``
+        # runs once per memory transaction, so it pays one lookup.
+        self._energy_coeffs_nj = {
+            name: (self._per_access_nj[name], self._per_byte_nj[name])
+            for name in self._per_byte_nj
+        }
 
     # ------------------------------------------------------------------
     # Hook endpoints
@@ -101,10 +107,8 @@ class PowerAccountant:
 
     def on_memory_energy(self, name: str, nbytes: int) -> None:
         """Charge per-access + per-byte energy for a memory/bus transfer."""
-        nanojoules = self._per_access_nj.get(name, 0.0) + nbytes * self._per_byte_nj.get(
-            name, 0.0
-        )
-        joules = nanojoules * 1e-9
+        access_nj, byte_nj = self._energy_coeffs_nj.get(name, (0.0, 0.0))
+        joules = (access_nj + nbytes * byte_nj) * 1e-9
         self._discrete_j += joules
         self.memory_energy_j[name] = self.memory_energy_j.get(name, 0.0) + joules
 
@@ -118,9 +122,17 @@ class PowerAccountant:
     # Readouts
     # ------------------------------------------------------------------
     def total_energy_j(self) -> float:
-        """Cumulative chip energy since construction, in joules."""
-        elapsed_s = (self.sim.now_ps - self._start_ps) / 1e12
-        me_j = sum(signal.integral for signal in self._me_signals.values())
+        """Cumulative chip energy since construction, in joules.
+
+        Explicit loop rather than a ``sum`` genexpr: this runs once per
+        annotated trace event, and a plain loop keeps the profile
+        attribution on this method instead of a ``<genexpr>`` frame.
+        """
+        now_ps = self.sim.now_ps
+        elapsed_s = (now_ps - self._start_ps) / 1e12
+        me_j = 0.0
+        for signal in self._me_signals.values():
+            me_j += signal.integral_at(now_ps)
         return me_j + self._discrete_j + self.config.base_w * elapsed_s
 
     def total_energy_uj(self) -> float:

@@ -63,7 +63,8 @@ class ClockDomain:
         self._freq_hz = float(freq_hz)
         self._delay_cache: Dict[float, int] = {}
         #: Called (no arguments) after every applied frequency change;
-        #: microengines subscribe to re-plan in-flight fused computes.
+        #: microengines subscribe to re-derive their cached fixed-cycle
+        #: delays (poll and context-switch) at the new rate.
         self.on_change: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------

@@ -38,6 +38,11 @@ _Entry = Tuple[int, int, EventCallback, tuple]
 #: of skipping entries one pop at a time.
 _COMPACT_THRESHOLD = 256
 
+#: Sentinel deadline for an unbounded :meth:`Simulator.run`: comparing
+#: every entry against one integer is cheaper than a per-event ``None``
+#: check, and no schedulable picosecond reaches 2**63.
+_NO_DEADLINE = 2**63
+
 
 class Event:
     """Handle for a scheduled callback.
@@ -99,12 +104,12 @@ class Simulator:
         #: run loop checks membership only while the set is non-empty.
         self._cancelled: Set[int] = set()
         #: Called (no arguments) every time :meth:`run` returns, before
-        #: control reaches the caller.  Components that batch work across
-        #: events (fused compute blocks) register here so their counters
-        #: are settled whenever results can be read.  This is also the
-        #: sanctioned hook for end-of-run derivation — kernel-phase span
-        #: capture (:mod:`repro.obs.spans`) snapshots the per-ME state
-        #: totals here rather than instrumenting the event loop.
+        #: control reaches the caller.  The sanctioned hook for
+        #: end-of-run derivation — kernel-phase span capture
+        #: (:mod:`repro.obs.spans`) snapshots the per-ME state totals
+        #: here rather than instrumenting the event loop.  (Fused
+        #: compute blocks no longer need it: the seq-relay charges each
+        #: part at its unfused instant, so counters are always settled.)
         self.on_run_end: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
@@ -193,21 +198,30 @@ class Simulator:
         queue = self._queue
         cancelled = self._cancelled
         pop = heapq.heappop
+        deadline = _NO_DEADLINE if until_ps is None else until_ps
+        # The executed-event count accumulates in a local and lands on
+        # the instance in one store: nothing reads it mid-run (the
+        # property is a post-run statistic), and the loop body is the
+        # per-event cost floor for the whole simulator.
+        executed = 0
         try:
             while queue and not self._stopped:
                 entry = queue[0]
-                if until_ps is not None and entry[0] > until_ps:
+                if entry[0] > deadline:
                     break
                 pop(queue)
                 if cancelled and entry[1] in cancelled:
                     cancelled.discard(entry[1])
                     continue
                 self.now_ps = entry[0]
-                self._events_executed += 1
+                executed += 1
                 entry[2](*entry[3])
             if until_ps is not None and not self._stopped and until_ps > self.now_ps:
                 self.now_ps = until_ps
         finally:
+            # Land the count before the run-end hooks: a hook may read
+            # ``events_executed`` for its snapshot.
+            self._events_executed += executed
             self._running = False
             for hook in self.on_run_end:
                 hook()

@@ -79,6 +79,15 @@ class TimeWeightedValue:
         self._settle()
         return self._integral
 
+    def integral_at(self, now_ps: int) -> float:
+        """Settle to ``now_ps`` (the current sim time) and return the
+        integral — one call instead of a property plus a settle, for
+        readers that poll many signals per trace event."""
+        if now_ps > self._last_ps:
+            self._integral += self._level * (now_ps - self._last_ps) / 1e12
+            self._last_ps = now_ps
+        return self._integral
+
     def _settle(self) -> None:
         now = self.sim.now_ps
         if now > self._last_ps:
@@ -101,30 +110,30 @@ class IntervalAccumulator:
     def __init__(self, sim: Simulator, initial_state: str, name: str = "states"):
         self.sim = sim
         self.name = name
-        self._state = initial_state
+        #: The currently active state name.  A plain attribute, not a
+        #: property: the microengine arbiter reads it on every poll
+        #: rotation, and a descriptor call there is measurable.  Treat
+        #: it as read-only — state changes go through :meth:`set_state`,
+        #: which charges elapsed time to the outgoing state first.
+        self.state = initial_state
         self._since_ps = sim.now_ps
         self._totals: Dict[str, int] = {}
         self._window: Dict[str, int] = {}
         self._window_start_ps = sim.now_ps
 
-    @property
-    def state(self) -> str:
-        """The currently active state name."""
-        return self._state
-
     def set_state(self, state: str) -> None:
         """Switch to ``state``, charging elapsed time to the previous one."""
-        if state == self._state:
+        if state == self.state:
             return
         self._settle()
-        self._state = state
+        self.state = state
 
     def _settle(self) -> None:
         now = self.sim.now_ps
         elapsed = now - self._since_ps
         if elapsed > 0:
-            self._totals[self._state] = self._totals.get(self._state, 0) + elapsed
-            self._window[self._state] = self._window.get(self._state, 0) + elapsed
+            self._totals[self.state] = self._totals.get(self.state, 0) + elapsed
+            self._window[self.state] = self._window.get(self.state, 0) + elapsed
             self._since_ps = now
 
     def totals_ps(self) -> Dict[str, int]:
@@ -155,7 +164,7 @@ class IntervalAccumulator:
         self._window_start_ps = self.sim.now_ps
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<IntervalAccumulator {self.name} state={self._state!r}>"
+        return f"<IntervalAccumulator {self.name} state={self.state!r}>"
 
 
 class RateWindow:

@@ -331,6 +331,40 @@ class TestDeterminismRules:
         bad = det_codes(tmp_path, {"sim/broken.py": "def nope(:\n"})
         assert ("DET100", False) in bad
 
+    def test_det106_env_read_in_model_core(self, tmp_path):
+        # Literal, constant-indirected, os.getenv and subscript forms
+        # all resolve; every undeclared variable is one finding.
+        bad = det_codes(tmp_path, {
+            "npu/engine.py": (
+                "import os\n"
+                'VAR = "REPRO_MYSTERY"\n'
+                'a = os.environ.get("REPRO_UNDECLARED", "")\n'
+                "b = os.environ.get(VAR)\n"
+                'c = os.getenv("REPRO_THIRD")\n'
+                'd = os.environ["REPRO_FOURTH"]\n'
+            ),
+        })
+        assert sum(1 for code, _ in bad if code == "DET106") == 4
+
+    def test_det106_allowlisted_toggle_clean(self, tmp_path):
+        clean = det_codes(tmp_path, {
+            "npu/engine.py": (
+                "import os\n"
+                'FUSE_ENV_VAR = "REPRO_FUSE"\n'
+                'on = os.environ.get(FUSE_ENV_VAR, "").strip().lower()\n'
+            ),
+        })
+        assert all(code != "DET106" for code, _ in clean)
+
+    def test_det106_out_of_scope_layers_clean(self, tmp_path):
+        # Observability/orchestration layers read mode env vars by
+        # design; DET106 covers only the model core (sim/, npu/).
+        clean = det_codes(tmp_path, {
+            "obs/mode.py": 'import os\nv = os.environ.get("REPRO_ANY")\n',
+            "sweep/workers.py": 'import os\nw = os.getenv("REPRO_OTHER")\n',
+        })
+        assert all(code != "DET106" for code, _ in clean)
+
     def test_concurrent_futures_wait_unpack_is_set_typed(self, tmp_path):
         bad = det_codes(tmp_path, {
             "sweep/drain.py": (

@@ -1,21 +1,38 @@
 """Fast-path equivalence tests: materialized / fused step execution.
 
-The microengine may materialize a pure app's step stream at packet bind
-(list iteration instead of generator resumption) and, opted in, fuse
-adjacent computes into one completion event.  These tests pin the
-contract: per-ME observables — completion times, instruction counts,
-state totals — are identical to lazy unfused execution, including under
-stalls, frequency changes and runs that end mid-block.
+The microengine materializes a pure app's step stream at packet bind
+(list iteration instead of generator resumption) and, by default, fuses
+adjacent computes into one relay-executed block.  These tests pin the
+contract at two levels: per-ME observables — completion times,
+instruction counts, state totals, kernel seq layout — are identical to
+lazy unfused execution, including under stalls, frequency changes and
+runs that end mid-block; and full-system study JSON is byte-identical
+fused vs unfused across the scenario catalog, the execution backends
+and both monitor modes (the tie-ordering wall behind flipping fusion on
+by default).
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import MemoryConfig
+from repro.loc.monitor import MONITOR_MODE_ENV_VAR
 from repro.npu.memqueue import build_memories
-from repro.npu.microengine import BUSY, IDLE, STALLED, Microengine
+from repro.npu.microengine import (
+    BUSY,
+    FUSE_ENV_VAR,
+    IDLE,
+    STALLED,
+    Microengine,
+    fusion_enabled,
+)
 from repro.npu.steps import Compute, FusedCompute, MemRead, materialize_steps
+from repro.scenarios import list_scenarios
 from repro.sim.clock import ClockDomain
 from repro.sim.kernel import Simulator
+from repro.studies import StudySpec, run_study
+from repro.studies.report import render_json
 from repro.units import mhz
 
 from test_microengine import ListSource
@@ -74,6 +91,11 @@ def run_me(
         "polls": me.polls,
         "mem_accesses": me.mem_accesses,
         "totals": dict(me.states.totals_ps()),
+        # The tie-ordering contract in its rawest form: fused and
+        # unfused execution must draw exactly the same kernel sequence
+        # numbers and deliver the same number of events.
+        "kernel_seqs": sim._seq,
+        "events_executed": sim.events_executed,
     }
     if resume_until is not None:
         sim.run(until_ps=resume_until)
@@ -259,3 +281,142 @@ class TestAccountingBugfixes:
         totals = me.states.totals_ps()
         assert totals.get(BUSY, 0) >= 100_000_000
         assert me.states.state == STALLED
+
+
+# ---------------------------------------------------------------------------
+# Full-system tie-ordering wall
+# ---------------------------------------------------------------------------
+
+#: The four catalog scenarios whose seq layout diverged under the old
+#: block-fusion scheme — the regression-sensitive subset run in the fast
+#: lane.  The full catalog and the backend / monitor-mode cross products
+#: run in the slow lane.
+DIVERGER_SCENARIOS = ("ddos_min64", "imix_drift", "link_failover", "weekend_diurnal")
+
+
+def catalog_study_json(
+    monkeypatch, scenarios, fuse, backend=None, workers=1, monitor_mode=None
+):
+    """Render the study-report JSON for ``scenarios`` under one fusion
+    setting, using the short deterministic grid from the backend tests."""
+    monkeypatch.setenv(FUSE_ENV_VAR, "on" if fuse else "off")
+    if monitor_mode is None:
+        monkeypatch.delenv(MONITOR_MODE_ENV_VAR, raising=False)
+    else:
+        monkeypatch.setenv(MONITOR_MODE_ENV_VAR, monitor_mode)
+    spec = StudySpec(
+        scenarios=tuple(scenarios),
+        policies=("tdvs", "edvs"),
+        thresholds_mbps=(1200.0,),
+        windows_cycles=(40_000,),
+        duration_cycles=120_000,
+        span=20,
+        seeds=(11,),
+    )
+    spec.validate()
+    if backend is not None:
+        result = run_study(spec, backend=backend)
+    else:
+        result = run_study(spec, workers=workers)
+    return render_json(result.policy_map)
+
+
+class TestFullSystemTieOrdering:
+    """Fused execution is a pure speed change: the rendered study JSON —
+    every counter, timestamp and derived metric — is byte-identical to
+    unfused execution, in every scenario, on every backend, in both
+    monitor modes."""
+
+    def test_fusion_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(FUSE_ENV_VAR, raising=False)
+        assert fusion_enabled() is True
+        monkeypatch.setenv(FUSE_ENV_VAR, "off")
+        assert fusion_enabled() is False
+
+    def test_diverger_scenarios_byte_identical_serial(self, monkeypatch):
+        for scenario in DIVERGER_SCENARIOS:
+            fused = catalog_study_json(monkeypatch, (scenario,), fuse=True)
+            unfused = catalog_study_json(monkeypatch, (scenario,), fuse=False)
+            assert fused == unfused, scenario
+
+    @pytest.mark.slow
+    def test_full_catalog_byte_identical_serial(self, monkeypatch):
+        names = tuple(list_scenarios())
+        assert len(names) == 9
+        fused = catalog_study_json(monkeypatch, names, fuse=True)
+        unfused = catalog_study_json(monkeypatch, names, fuse=False)
+        assert fused == unfused
+
+    @pytest.mark.slow
+    def test_process_backend_fused_matches_serial_unfused(self, monkeypatch):
+        from repro.backends import ProcessBackend
+
+        serial_unfused = catalog_study_json(
+            monkeypatch, ("ddos_min64",), fuse=False
+        )
+        pool_fused = catalog_study_json(
+            monkeypatch,
+            ("ddos_min64",),
+            fuse=True,
+            backend=ProcessBackend(workers=2),
+        )
+        assert pool_fused == serial_unfused
+
+    @pytest.mark.slow
+    def test_distributed_backend_fused_matches_serial_unfused(self, monkeypatch):
+        from repro.backends import DistributedBackend
+
+        from test_backends import start_worker
+
+        serial_unfused = catalog_study_json(
+            monkeypatch, ("link_failover",), fuse=False
+        )
+        backend = DistributedBackend(port=0)
+        workers = [start_worker(backend.address) for _ in range(2)]
+        distributed_fused = catalog_study_json(
+            monkeypatch, ("link_failover",), fuse=True, backend=backend
+        )
+        for worker in workers:
+            worker.join(timeout=60)
+        assert distributed_fused == serial_unfused
+
+    def test_monitor_modes_byte_identical(self, monkeypatch):
+        renders = {
+            (fuse, mode): catalog_study_json(
+                monkeypatch, ("weekend_diurnal",), fuse=fuse, monitor_mode=mode
+            )
+            for fuse in (False, True)
+            for mode in ("compiled", "interpreted")
+        }
+        baseline = renders[(False, "compiled")]
+        for key, render in renders.items():
+            assert render == baseline, key
+
+
+class TestFusedSeqLayoutProperty:
+    """Hypothesis wall: under *any* schedule of stalls and V-F changes,
+    fused execution draws exactly the unfused kernel seq layout."""
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=10_000, max_value=40_000_000),
+                st.sampled_from(("stall", "vf", "both")),
+                st.integers(min_value=100_000, max_value=5_000_000),
+                st.sampled_from((200, 300, 450, 600)),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_randomized_stall_vf_schedules_preserve_seq_layout(self, schedule):
+        def perturb(sim, me):
+            for when_ps, kind, stall_ps, freq in schedule:
+                if kind in ("vf", "both"):
+                    sim.schedule_at(when_ps, me.set_vf, mhz(freq), 1.0)
+                if kind in ("stall", "both"):
+                    sim.schedule_at(when_ps, me.stall_for, stall_ps)
+
+        lazy = run_me(materialize=False, perturb=perturb)
+        fused = run_me(materialize=True, fuse=True, perturb=perturb)
+        assert fused == lazy
